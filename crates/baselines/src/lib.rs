@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+//! Baseline allocators the paper compares against (explicitly or via its
+//! related-work discussion), all implementing the same
+//! [`realloc_common::Reallocator`] trait as the paper's
+//! algorithms so harnesses can drive them interchangeably.
+//!
+//! * [`FreeListAllocator`] — classical *memory allocation* (objects never
+//!   move): first-fit, best-fit, next-fit placement. Subject to the
+//!   logarithmic footprint lower bound of Robson / Luby et al. that
+//!   motivates reallocation.
+//! * [`BuddyAllocator`] — Knowlton's buddy system, also no-move.
+//! * [`LogCompactAllocator`] — the logging-and-compacting strategy from the
+//!   paper's §2 intuition: `(2, 2)`-competitive for linear cost, but
+//!   `Θ(∆)` amortized per delete under unit cost.
+//! * [`SizeClassGapsAllocator`] — the constant-reallocation-cost strategy
+//!   sketched from Bender et al. 2009: ascending size classes with
+//!   inter-class gaps and cascading displacement. `O(1)` amortized moves
+//!   per insert, but `Θ(log ∆)` competitive under linear cost.
+//!
+//! The last two are *cost-function-specific*: each is good for exactly one
+//! end of the subadditive spectrum, which is the paper's motivation for a
+//! cost-oblivious algorithm.
+
+pub mod buddy;
+pub mod free_list;
+pub mod gaps;
+pub mod log_compact;
+
+pub use buddy::BuddyAllocator;
+pub use free_list::{FitStrategy, FreeListAllocator};
+pub use gaps::SizeClassGapsAllocator;
+pub use log_compact::LogCompactAllocator;
+
+use realloc_common::Reallocator;
+
+/// Constructs the full comparison roster (paper's algorithms excluded),
+/// used by experiment tables.
+pub fn baseline_roster() -> Vec<Box<dyn Reallocator>> {
+    vec![
+        Box::new(FreeListAllocator::new(FitStrategy::FirstFit)),
+        Box::new(FreeListAllocator::new(FitStrategy::BestFit)),
+        Box::new(FreeListAllocator::new(FitStrategy::NextFit)),
+        Box::new(BuddyAllocator::new()),
+        Box::new(LogCompactAllocator::new()),
+        Box::new(SizeClassGapsAllocator::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_distinct_names() {
+        let roster = baseline_roster();
+        let mut names: Vec<_> = roster.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), roster.len());
+    }
+}

@@ -1,0 +1,58 @@
+//! E12 — CPU throughput of the reallocators themselves (our addition; the
+//! paper's model counts movement cost, not planning time).
+//!
+//! Criterion benchmark: requests/second over the standard churn workload
+//! for each algorithm, plus the flush-heavy small-ε case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use realloc_common::Reallocator;
+use realloc_core::{CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator};
+use alloc_baselines::{FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator};
+use workload_gen::{Request, Workload};
+
+fn drive(r: &mut dyn Reallocator, w: &Workload) -> u64 {
+    let mut moved = 0;
+    for req in &w.requests {
+        let out = match *req {
+            Request::Insert { id, size } => r.insert(id, size).expect("insert"),
+            Request::Delete { id } => r.delete(id).expect("delete"),
+        };
+        moved += out.moved_volume();
+    }
+    moved
+}
+
+fn throughput(c: &mut Criterion) {
+    let workload = realloc_bench::standard_churn(20_000, 10_000, 1234);
+    let n = workload.len() as u64;
+
+    let mut group = c.benchmark_group("churn_requests");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("cost-oblivious", "eps=0.5"), |b| {
+        b.iter(|| drive(&mut CostObliviousReallocator::new(0.5), &workload))
+    });
+    group.bench_function(BenchmarkId::new("cost-oblivious", "eps=0.0625"), |b| {
+        b.iter(|| drive(&mut CostObliviousReallocator::new(0.0625), &workload))
+    });
+    group.bench_function(BenchmarkId::new("checkpointed", "eps=0.5"), |b| {
+        b.iter(|| drive(&mut CheckpointedReallocator::new(0.5), &workload))
+    });
+    group.bench_function(BenchmarkId::new("deamortized", "eps=0.5"), |b| {
+        b.iter(|| drive(&mut DeamortizedReallocator::new(0.5), &workload))
+    });
+    group.bench_function(BenchmarkId::new("first-fit", "baseline"), |b| {
+        b.iter(|| drive(&mut FreeListAllocator::new(FitStrategy::FirstFit), &workload))
+    });
+    group.bench_function(BenchmarkId::new("log-compact", "baseline"), |b| {
+        b.iter(|| drive(&mut LogCompactAllocator::new(), &workload))
+    });
+    group.bench_function(BenchmarkId::new("size-class-gaps", "baseline"), |b| {
+        b.iter(|| drive(&mut SizeClassGapsAllocator::new(), &workload))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

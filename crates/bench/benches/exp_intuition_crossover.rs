@@ -1,0 +1,151 @@
+//! E5 — the §2 intuition: each cost-function-specific strategy is good at
+//! one end of the subadditive spectrum and bad at the other, while the
+//! cost-oblivious algorithm's guarantee is flat everywhere.
+//!
+//! * **A (unit cost, compaction killer)**: logging-and-compacting pays
+//!   `Θ(∆)` *unit* cost per large delete — every compaction drags the small
+//!   survivors. The gaps strategy and the cost-oblivious reallocator keep
+//!   their per-delete unit cost flat / their competitive ratio `b(unit)`
+//!   bounded by a ∆-independent constant.
+//! * **B (linear cost, cascades)**: a single unit insert into the gaps
+//!   structure can displace one object in *every* size class — `Θ(∆)` moved
+//!   volume for an `f(1)` allocation, the blowup underlying its
+//!   `Θ(log ∆)`-competitive linear-cost bound. The cost-oblivious
+//!   structure's total linear cost stays a constant multiple of the
+//!   allocation cost.
+
+use alloc_baselines::{LogCompactAllocator, SizeClassGapsAllocator};
+use realloc_common::Reallocator;
+use realloc_core::CostObliviousReallocator;
+use storage_realloc::harness::{run_workload, RunConfig};
+use workload_gen::adversarial::{cascade_trigger, compaction_killer};
+use workload_gen::Request;
+
+use realloc_bench::{banner, fmt2, Table};
+
+fn algorithms() -> Vec<Box<dyn Reallocator>> {
+    vec![
+        Box::new(LogCompactAllocator::new()),
+        Box::new(SizeClassGapsAllocator::new()),
+        Box::new(CostObliviousReallocator::new(0.5)),
+    ]
+}
+
+fn main() {
+    banner(
+        "E5 (exp_intuition_crossover)",
+        "§2 intuition (cost-function-specific strategies)",
+        "log-compact pays Θ(∆) unit cost per delete; gaps cascades move Θ(∆) per unit insert; cost-oblivious ratios stay flat",
+    );
+
+    let deltas = [16u64, 64, 256, 1024];
+
+    // --- Part A: unit cost on the compaction killer. ---
+    // "per-del" = total unit reallocation cost / number of deletes (the
+    // paper's per-deletion framing); "b" = realloc/alloc competitive ratio
+    // (the paper's formal measure — Theorem 2.1 bounds it for the
+    // cost-oblivious algorithm by a ∆-independent constant).
+    let mut table_a = Table::new(
+        "A: compaction-killer, UNIT cost (paper: log-compact = Θ(∆) per delete)",
+        &[
+            "∆",
+            "log-compact per-del",
+            "gaps per-del",
+            "cost-obl b(unit)",
+            "log-compact b(unit)",
+            "gaps b(unit)",
+        ],
+    );
+    for &delta in &deltas {
+        let w = compaction_killer(delta, 8);
+        let deletes = w.stats().deletes.max(1) as f64;
+        let mut per_del = Vec::new();
+        let mut b_unit = Vec::new();
+        for mut alg in algorithms() {
+            let result = run_workload(alg.as_mut(), &w, RunConfig::plain()).expect("run");
+            per_del.push(result.ledger.total_realloc_cost(&|_| 1.0) / deletes);
+            b_unit.push(result.ledger.cost_ratio(&|_| 1.0));
+        }
+        table_a.row(vec![
+            delta.to_string(),
+            fmt2(per_del[0]),
+            fmt2(per_del[1]),
+            fmt2(b_unit[2]),
+            fmt2(b_unit[0]),
+            fmt2(b_unit[1]),
+        ]);
+    }
+    table_a.print();
+
+    // --- Part B: the cascade — worst single unit-insert under linear cost.
+    let mut table_b = Table::new(
+        "B: cascade-trigger, LINEAR cost — worst single unit-insert moved volume",
+        &["∆", "gaps worst insert", "gaps worst/∆", "cost-obl b(linear)", "gaps b(linear)"],
+    );
+    for &delta in &deltas {
+        let w = cascade_trigger(delta, 400);
+        // Worst single *unit insert* for the gaps structure.
+        let mut gaps = SizeClassGapsAllocator::new();
+        let mut worst_unit_insert = 0u64;
+        for req in &w.requests {
+            match *req {
+                Request::Insert { id, size } => {
+                    let out = gaps.insert(id, size).expect("insert");
+                    if size == 1 {
+                        worst_unit_insert = worst_unit_insert.max(out.moved_volume());
+                    }
+                }
+                Request::Delete { id } => {
+                    gaps.delete(id).expect("delete");
+                }
+            }
+        }
+        let mut gaps2 = SizeClassGapsAllocator::new();
+        let rg = run_workload(&mut gaps2, &w, RunConfig::plain()).expect("run");
+        let mut co = CostObliviousReallocator::new(0.5);
+        let rc = run_workload(&mut co, &w, RunConfig::plain()).expect("run");
+        table_b.row(vec![
+            delta.to_string(),
+            worst_unit_insert.to_string(),
+            fmt2(worst_unit_insert as f64 / delta as f64),
+            fmt2(rc.ledger.cost_ratio(&|x| x as f64)),
+            fmt2(rg.ledger.cost_ratio(&|x| x as f64)),
+        ]);
+    }
+    table_b.print();
+
+    // --- Part C: the full cost-ratio matrix at the largest ∆. ---
+    let delta = *deltas.last().unwrap();
+    let mut table_c = Table::new(
+        format!("C: competitive cost ratio b(f) at ∆ = {delta} (lower is better)"),
+        &["algorithm", "killer b(unit)", "killer b(linear)", "cascade b(unit)", "cascade b(linear)"],
+    );
+    let killer = compaction_killer(delta, 8);
+    let cascade = cascade_trigger(delta, 400);
+    for mut alg in algorithms() {
+        let name = alg.name().to_string();
+        let rk = run_workload(alg.as_mut(), &killer, RunConfig::plain()).expect("run");
+        let mut alg2 = algorithms()
+            .into_iter()
+            .find(|a| a.name() == name)
+            .expect("same roster");
+        let rc = run_workload(alg2.as_mut(), &cascade, RunConfig::plain()).expect("run");
+        table_c.row(vec![
+            name,
+            fmt2(rk.ledger.cost_ratio(&|_| 1.0)),
+            fmt2(rk.ledger.cost_ratio(&|x| x as f64)),
+            fmt2(rc.ledger.cost_ratio(&|_| 1.0)),
+            fmt2(rc.ledger.cost_ratio(&|x| x as f64)),
+        ]);
+    }
+    table_c.print();
+
+    println!(
+        "\nreading: (A) log-compact's per-delete unit cost is exactly ∆ and grows linearly;\n\
+         the cost-oblivious b(unit) column is ∆-independent, as Theorem 2.1 promises.\n\
+         (B) the gaps structure's worst unit insert moves ≈ 2∆ volume (worst/∆ ≈ 2):\n\
+         an f(1) allocation causing Θ(f(∆)) linear cost — the blowup behind its\n\
+         Θ(log ∆)-competitive bound — while the cost-oblivious linear ratio stays flat.\n\
+         Neither specialist is safe on both workloads; the cost-oblivious algorithm is."
+    );
+}

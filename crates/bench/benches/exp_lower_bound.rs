@@ -1,0 +1,80 @@
+//! E9 — Lemma 3.7: on the sequence ⟨insert ∆; ∆ × insert 1; delete ∆⟩,
+//! *any* reallocator that maintains a `(3/2)V` footprint must serve at
+//! least one update at reallocation cost `Ω(f(∆))` — even knowing `f` and
+//! the future.
+//!
+//! We run the sequence for a ∆-sweep against every algorithm and report
+//! the max single-request cost normalized by `f(∆)` under unit, linear,
+//! and sqrt costs. Algorithms that keep the footprint bound show a
+//! normalized cost bounded away from 0; no-move allocators dodge the cost
+//! by breaking the footprint bound instead — both columns are shown.
+
+use alloc_baselines::{
+    BuddyAllocator, FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator,
+};
+use cost_model::CostFn;
+use realloc_common::Reallocator;
+use realloc_core::{CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator};
+use storage_realloc::harness::{run_workload, RunConfig};
+use workload_gen::adversarial::lemma_3_7;
+
+use realloc_bench::{banner, fmt2, Table};
+
+fn roster() -> Vec<Box<dyn Reallocator>> {
+    vec![
+        Box::new(CostObliviousReallocator::new(0.5)),
+        Box::new(CheckpointedReallocator::new(0.5)),
+        Box::new(DeamortizedReallocator::new(0.5)),
+        Box::new(LogCompactAllocator::new()),
+        Box::new(SizeClassGapsAllocator::new()),
+        Box::new(FreeListAllocator::new(FitStrategy::FirstFit)),
+        Box::new(BuddyAllocator::new()),
+    ]
+}
+
+fn main() {
+    banner(
+        "E9 (exp_lower_bound)",
+        "Lemma 3.7",
+        "keeping footprint ≤ (3/2)V forces some update to cost Ω(f(∆)) — pay in moves or in space",
+    );
+
+    let costs: Vec<Box<dyn CostFn>> = vec![
+        Box::new(cost_model::Unit),
+        Box::new(cost_model::Linear::per_cell(1.0)),
+        Box::new(cost_model::SqrtCost),
+    ];
+
+    for &delta in &[64u64, 256, 1024, 4096] {
+        let w = lemma_3_7(delta);
+        let mut table = Table::new(
+            format!("∆ = {delta}: max single-request cost / f(∆), and worst footprint ratio"),
+            &["algorithm", "unit", "linear", "sqrt", "worst space ratio", "keeps 3/2·V"],
+        );
+        for mut alg in roster() {
+            let result = run_workload(alg.as_mut(), &w, RunConfig::plain()).expect("run");
+            let mut row = vec![result.name.to_string()];
+            for f in &costs {
+                let worst = result.ledger.max_op_realloc_cost(&|x| f.cost(x));
+                row.push(fmt2(worst / f.cost(delta)));
+            }
+            let space = result.ledger.max_settled_space_ratio();
+            row.push(fmt2(space));
+            row.push(if space <= 1.5 + 1e-9 { "yes" } else { "no" }.to_string());
+            table.row(row);
+        }
+        table.print();
+    }
+
+    println!(
+        "\nreading: every algorithm that keeps the (3/2)V footprint shows a single update\n\
+         costing a constant fraction of f(∆) under each cost function (the lemma's two\n\
+         cases: either a small insert displaced the big object, or its delete dragged\n\
+         Ω(∆) unit objects). The no-move allocators keep costs at 0 — but their space\n\
+         column breaks the footprint bound instead. There is no third option.\n\
+         notes: the deamortized row's space column includes its mid-flush working\n\
+         envelope (1+O(ε'))V + O(∆), which dominates on this tiny V ≈ 2∆ instance —\n\
+         it still pays the Ω(f(∆)) move, consistent with the lemma; size-class-gaps\n\
+         escapes via its 2x slot rounding, which is also a broken footprint bound."
+    );
+}

@@ -1,0 +1,85 @@
+//! E4 — Theorem 2.1 (with Lemmas 2.5 and 2.6): the cost-oblivious
+//! reallocator is `(1+ε, O((1/ε) log(1/ε)))`-competitive for *every*
+//! monotone subadditive cost function simultaneously.
+//!
+//! One run per ε (the algorithm is cost oblivious, so a single move log is
+//! priced under the whole cost-function suite after the fact). Reported:
+//!
+//! * the max settled space ratio vs the hard `1+ε` bound (Lemma 2.5);
+//! * the cost competitive ratio `realloc cost / alloc cost` per cost
+//!   function (Lemma 2.6), and its normalization by `(1/ε′)·ln(1/ε′)` —
+//!   the paper predicts the normalized column stays bounded by a constant
+//!   as ε shrinks.
+
+use realloc_core::CostObliviousReallocator;
+use storage_realloc::harness::{run_workload, RunConfig};
+
+use realloc_bench::{banner, fmt2, fmt3, standard_churn, verdict, Table};
+
+fn main() {
+    banner(
+        "E4 (exp_thm21_competitive)",
+        "Theorem 2.1 / Lemmas 2.5, 2.6",
+        "footprint ≤ (1+ε)·V always; realloc cost ≤ O((1/ε)log(1/ε)) · alloc cost, ∀f ∈ Fsa",
+    );
+
+    let suite = cost_model::standard_suite();
+    let workload = standard_churn(80_000, 40_000, 42);
+    println!("workload: {} ({} requests)", workload.name, workload.len());
+
+    let mut space_table = Table::new(
+        "Lemma 2.5 — footprint competitiveness",
+        &["ε", "bound 1+ε", "max settled ratio", "flush count", "verdict"],
+    );
+    let mut cost_table = Table::new(
+        "Lemma 2.6 — cost competitive ratio b(f) per cost function (one run, priced post-hoc)",
+        &{
+            let mut h = vec!["ε", "(1/ε′)ln(1/ε′)"];
+            h.extend(suite.iter().map(|f| f.name()));
+            h
+        },
+    );
+    let mut norm_table = Table::new(
+        "normalized b(f) / ((1/ε′)ln(1/ε′)) — bounded ⇒ the O((1/ε)log(1/ε)) shape holds",
+        &{
+            let mut h = vec!["ε"];
+            h.extend(suite.iter().map(|f| f.name()));
+            h
+        },
+    );
+
+    for eps in [0.5, 0.25, 0.125, 0.0625, 0.03125] {
+        let mut r = CostObliviousReallocator::new(eps);
+        let result = run_workload(&mut r, &workload, RunConfig::plain()).expect("run");
+        let ratio = result.ledger.max_settled_space_ratio();
+        space_table.row(vec![
+            format!("1/{}", (1.0 / eps) as u32),
+            fmt3(1.0 + eps),
+            fmt3(ratio),
+            r.flush_count().to_string(),
+            verdict(ratio <= 1.0 + eps + 1e-9),
+        ]);
+
+        let eps_p = r.eps().prime();
+        let norm = (1.0 / eps_p) * (1.0 / eps_p).ln();
+        let mut cost_row = vec![format!("1/{}", (1.0 / eps) as u32), fmt2(norm)];
+        let mut norm_row = vec![format!("1/{}", (1.0 / eps) as u32)];
+        for f in &suite {
+            let b = result.ledger.cost_ratio(&|w| f.cost(w));
+            cost_row.push(fmt2(b));
+            norm_row.push(fmt3(b / norm));
+        }
+        cost_table.row(cost_row);
+        norm_table.row(norm_row);
+    }
+
+    space_table.print();
+    cost_table.print();
+    norm_table.print();
+
+    println!(
+        "\nreading: every settled ratio sits under its 1+ε bound (hard guarantee), and the\n\
+         normalized cost columns stay roughly flat or fall as ε tightens — i.e. measured\n\
+         cost grows no faster than the (1/ε)log(1/ε) theory line, for every f at once."
+    );
+}

@@ -1,0 +1,83 @@
+//! The driver-facing trait implemented by every (re)allocator in the
+//! workspace — the paper's algorithms and all baselines.
+
+use crate::{Extent, ObjectId, Outcome};
+
+/// Errors surfaced at the request API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReallocError {
+    /// An insert reused an id that is still active.
+    DuplicateId(ObjectId),
+    /// A delete (or lookup) named an id that is not active.
+    UnknownId(ObjectId),
+    /// Objects must have positive integral length.
+    ZeroSize,
+}
+
+impl std::fmt::Display for ReallocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReallocError::DuplicateId(id) => write!(f, "{id} is already active"),
+            ReallocError::UnknownId(id) => write!(f, "{id} is not active"),
+            ReallocError::ZeroSize => write!(f, "objects must have positive length"),
+        }
+    }
+}
+
+impl std::error::Error for ReallocError {}
+
+/// An online storage (re)allocator: serves `INSERTOBJECT` / `DELETEOBJECT`
+/// requests, after each of which every active object has a placement.
+///
+/// Implementors range from the paper's cost-oblivious reallocators (which
+/// move objects) to classical memory allocators (which never do). Drivers
+/// treat them uniformly: feed requests, replay the returned [`Outcome`] ops
+/// against a substrate, and account costs in a ledger.
+pub trait Reallocator {
+    /// Serve `〈INSERTOBJECT, id, size〉`.
+    fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError>;
+
+    /// Serve `〈DELETEOBJECT, id〉`.
+    fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError>;
+
+    /// Current placement of an active object.
+    fn extent_of(&self, id: ObjectId) -> Option<Extent>;
+
+    /// Total volume `V` of active objects. Objects whose delete has been
+    /// requested but not yet completed (deamortized structure) still count,
+    /// matching the paper's definition of *active*.
+    fn live_volume(&self) -> u64;
+
+    /// Space consumed by the structure: the end of its last segment,
+    /// including reserved-but-empty buffer space. This is the quantity the
+    /// space lemmas bound by `(1 + O(ε')) V (+ ∆)`.
+    fn structure_size(&self) -> u64;
+
+    /// The *footprint* as defined in the paper: one past the largest address
+    /// currently storing an object. Always `<= structure_size()`.
+    fn footprint(&self) -> u64;
+
+    /// `∆`: the largest object length seen so far.
+    fn max_object_size(&self) -> u64;
+
+    /// Short human-readable algorithm name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of active objects.
+    fn live_count(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ReallocError::DuplicateId(ObjectId(3)).to_string(),
+            "obj#3 is already active"
+        );
+        assert_eq!(ReallocError::UnknownId(ObjectId(4)).to_string(), "obj#4 is not active");
+        assert_eq!(ReallocError::ZeroSize.to_string(), "objects must have positive length");
+    }
+}

@@ -1,0 +1,407 @@
+//! The Theorem 2.7 cost-oblivious defragmenter.
+//!
+//! Given a set of objects of total volume `V` currently allocated in at most
+//! `(1+ε)V` space and an arbitrary comparison function, sorts the objects
+//! in place using
+//!
+//! * at most `(1+ε)V + ∆` total space at any time, and
+//! * total movement cost `O((1/ε) log(1/ε))` times the cost of allocating
+//!   all objects once — for every subadditive cost function, since the
+//!   machinery is the cost-oblivious reallocator used as a black box.
+//!
+//! The procedure: crunch everything into the rightmost `V` cells (routing
+//! self-overlapping moves through the `∆` scratch area past the array),
+//! then repeatedly pull the leftmost suffix object through the scratch into
+//! a [`CostObliviousReallocator`] confined to the growing prefix; finally
+//! extract objects in reverse sorted order, placing each just before its
+//! successor at the right end. The prefix structure never reaches the
+//! shrinking suffix: when `W` volume is inside, the prefix needs at most
+//! `(1+O(ε′))·W` cells while the suffix starts at `(1+ε)V − (V−W) =
+//! εV + W` — exactly the paper's argument.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use realloc_common::{Extent, ObjectId, Reallocator, StorageOp};
+
+use crate::amortized::CostObliviousReallocator;
+use crate::layout::Eps;
+
+/// Outcome of a defragmentation run.
+#[derive(Debug, Clone)]
+pub struct DefragReport {
+    /// The full move schedule (replayable against a relaxed-mode store).
+    pub ops: Vec<StorageOp>,
+    /// Array budget `(1+ε)V` used for the sort.
+    pub budget: u64,
+    /// Scratch area `[budget, budget + ∆)`.
+    pub scratch: Extent,
+    /// Largest address (exclusive) written at any point — the theorem
+    /// bounds this by `budget + ∆`.
+    pub peak_space: u64,
+    /// Final sorted placements, ascending by the comparison function.
+    pub sorted: Vec<(ObjectId, Extent)>,
+    /// Moves per object, for the `O((1/ε) log(1/ε))` amortized bound.
+    pub total_moves: usize,
+    /// Maximum number of times any single object moved.
+    pub max_moves_per_object: usize,
+    /// True if the growing prefix ever collided with the shrinking suffix —
+    /// always false if the theorem (and our constants) hold.
+    pub prefix_suffix_collision: bool,
+}
+
+impl DefragReport {
+    /// Average moves per object.
+    pub fn avg_moves_per_object(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.total_moves as f64 / self.sorted.len() as f64
+        }
+    }
+}
+
+/// Errors rejected before any move is planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DefragError {
+    /// Two input extents overlap.
+    OverlappingInput(ObjectId, ObjectId),
+    /// An input object has zero length.
+    ZeroSize(ObjectId),
+    /// The input allocation exceeds `(1+ε)V` — the theorem's precondition.
+    InputTooSparse {
+        /// Cells the input allocation spans.
+        used: u64,
+        /// The `(1+ε)V` budget it exceeds.
+        budget: u64,
+    },
+    /// Duplicate object id in the input.
+    DuplicateId(ObjectId),
+}
+
+impl std::fmt::Display for DefragError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DefragError::OverlappingInput(a, b) => write!(f, "{a} and {b} overlap"),
+            DefragError::ZeroSize(id) => write!(f, "{id} has zero length"),
+            DefragError::InputTooSparse { used, budget } => {
+                write!(f, "input uses {used} cells, more than the (1+ε)V = {budget} budget")
+            }
+            DefragError::DuplicateId(id) => write!(f, "{id} appears twice"),
+        }
+    }
+}
+
+impl std::error::Error for DefragError {}
+
+/// Sorts `objects` (current placements) according to `compare`, in
+/// `(1+ε)V + ∆` space. See the module docs for the algorithm.
+pub fn defragment<F>(
+    objects: &[(ObjectId, Extent)],
+    eps: f64,
+    mut compare: F,
+) -> Result<DefragReport, DefragError>
+where
+    F: FnMut(ObjectId, ObjectId) -> Ordering,
+{
+    let eps = Eps::new(eps);
+    validate_input(objects)?;
+
+    let volume: u64 = objects.iter().map(|(_, e)| e.len).sum();
+    let delta: u64 = objects.iter().map(|(_, e)| e.len).max().unwrap_or(0);
+    let used: u64 = objects.iter().map(|(_, e)| e.end()).max().unwrap_or(0);
+    let budget = (used).max(volume + (eps.value() * volume as f64).floor() as u64);
+    if used > budget {
+        return Err(DefragError::InputTooSparse { used, budget });
+    }
+    let scratch = Extent::new(budget, delta);
+
+    let mut ops: Vec<StorageOp> = Vec::new();
+    let mut pos: HashMap<ObjectId, Extent> =
+        objects.iter().map(|&(id, e)| (id, e)).collect();
+    let mut moves: HashMap<ObjectId, usize> = HashMap::new();
+    let mut peak = used;
+    let mut collision = false;
+
+    let emit_move = |ops: &mut Vec<StorageOp>,
+                         pos: &mut HashMap<ObjectId, Extent>,
+                         moves: &mut HashMap<ObjectId, usize>,
+                         peak: &mut u64,
+                         id: ObjectId,
+                         to: Extent| {
+        let from = pos[&id];
+        if from == to {
+            return;
+        }
+        ops.push(StorageOp::Move { id, from, to });
+        pos.insert(id, to);
+        *moves.entry(id).or_insert(0) += 1;
+        *peak = (*peak).max(to.end());
+    };
+
+    // --- Step 1: crunch everything into the rightmost V cells. ---
+    let mut by_offset: Vec<ObjectId> = objects.iter().map(|&(id, _)| id).collect();
+    by_offset.sort_unstable_by_key(|id| std::cmp::Reverse(pos[id].offset));
+    let mut cursor = budget;
+    // Suffix order (ascending offset) for phase 2.
+    let mut suffix: std::collections::VecDeque<ObjectId> = std::collections::VecDeque::new();
+    for id in by_offset {
+        let size = pos[&id].len;
+        let target = Extent::new(cursor - size, size);
+        if pos[&id].overlaps(&target) && pos[&id] != target {
+            // Nonoverlap via the scratch area: two moves.
+            emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+        }
+        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, target);
+        cursor = target.offset;
+        suffix.push_front(id);
+    }
+
+    // --- Step 2: leftmost suffix object -> scratch -> prefix reallocator. ---
+    let mut inner = CostObliviousReallocator::with_eps(eps);
+    let mut suffix_start = cursor;
+    while let Some(id) = suffix.pop_front() {
+        let size = pos[&id].len;
+        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+        suffix_start += size;
+        let outcome = inner.insert(id, size).expect("fresh id");
+        // Translate the inner Allocate into a physical move from scratch;
+        // pass flush moves through. Any write reaching into the remaining
+        // suffix (at `suffix_start`) would be a prefix/suffix collision.
+        for op in outcome.ops {
+            match op {
+                StorageOp::Allocate { id: oid, to } => {
+                    debug_assert_eq!(oid, id);
+                    collision |= to.end() > suffix_start;
+                    emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, to);
+                }
+                StorageOp::Move { id: oid, to, .. } => {
+                    collision |= to.end() > suffix_start;
+                    emit_move(&mut ops, &mut pos, &mut moves, &mut peak, oid, to);
+                }
+                StorageOp::Free { .. } | StorageOp::CheckpointBarrier => unreachable!(),
+            }
+        }
+    }
+
+    // --- Step 3: extract in reverse sorted order to the right end. ---
+    let mut order: Vec<ObjectId> = objects.iter().map(|&(id, _)| id).collect();
+    order.sort_by(|&a, &b| compare(a, b));
+    let mut cursor = budget;
+    let mut sorted_rev: Vec<(ObjectId, Extent)> = Vec::with_capacity(order.len());
+    for &id in order.iter().rev() {
+        let size = pos[&id].len;
+        let slot = Extent::new(cursor - size, size);
+        // Park the object in the scratch first: the inner delete's flush
+        // may compact over its old cells, and its final slot only becomes
+        // safely free *after* the prefix shrinks below `slot.offset`
+        // (the paper's (1+ε)W ≤ εV + W argument applies post-delete).
+        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+        let outcome = inner.delete(id).expect("still inside");
+        for op in outcome.ops {
+            match op {
+                StorageOp::Move { id: oid, to, .. } => {
+                    // Inner compaction writes reaching into the current
+                    // suffix (which starts at slot.end()) are collisions.
+                    collision |= to.end() > slot.end();
+                    emit_move(&mut ops, &mut pos, &mut moves, &mut peak, oid, to);
+                }
+                StorageOp::Free { .. } => {} // superseded by the scratch move
+                StorageOp::Allocate { .. } | StorageOp::CheckpointBarrier => unreachable!(),
+            }
+        }
+        // Prefix has shrunk; the slot is now disjoint from it.
+        collision |= inner.structure_size() > slot.offset;
+        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, slot);
+        cursor = slot.offset;
+        sorted_rev.push((id, slot));
+    }
+    sorted_rev.reverse();
+
+    Ok(DefragReport {
+        total_moves: moves.values().sum(),
+        max_moves_per_object: moves.values().copied().max().unwrap_or(0),
+        ops,
+        budget,
+        scratch,
+        peak_space: peak,
+        sorted: sorted_rev,
+        prefix_suffix_collision: collision,
+    })
+}
+
+fn validate_input(objects: &[(ObjectId, Extent)]) -> Result<(), DefragError> {
+    let mut seen = std::collections::HashSet::new();
+    for &(id, e) in objects {
+        if e.len == 0 {
+            return Err(DefragError::ZeroSize(id));
+        }
+        if !seen.insert(id) {
+            return Err(DefragError::DuplicateId(id));
+        }
+    }
+    let mut sorted: Vec<&(ObjectId, Extent)> = objects.iter().collect();
+    sorted.sort_unstable_by_key(|(_, e)| e.offset);
+    for pair in sorted.windows(2) {
+        if pair[0].1.overlaps(&pair[1].1) {
+            return Err(DefragError::OverlappingInput(pair[0].0, pair[1].0));
+        }
+    }
+    Ok(())
+}
+
+trait ExtentExt {
+    fn at_len(&self, len: u64) -> Extent;
+}
+
+impl ExtentExt for Extent {
+    /// The first `len` cells of the extent.
+    fn at_len(&self, len: u64) -> Extent {
+        Extent::new(self.offset, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    /// A fragmented allocation: objects with holes between them.
+    fn fragmented(sizes: &[u64], gap: u64) -> Vec<(ObjectId, Extent)> {
+        let mut at = 0;
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let e = Extent::new(at, s);
+                at += s + gap;
+                (id(i as u64), e)
+            })
+            .collect()
+    }
+
+    /// Replays ops with memmove semantics and position checking.
+    fn replay(objects: &[(ObjectId, Extent)], ops: &[StorageOp]) -> HashMap<ObjectId, Extent> {
+        let mut pos: HashMap<ObjectId, Extent> = objects.iter().copied().collect();
+        for op in ops {
+            match *op {
+                StorageOp::Move { id, from, to } => {
+                    assert_eq!(pos[&id], from, "{id} chained from-extent mismatch");
+                    // No clobbering of *other* objects.
+                    for (&other, &e) in &pos {
+                        if other != id {
+                            assert!(!e.overlaps(&to), "{id} -> {to} clobbers {other} at {e}");
+                        }
+                    }
+                    pos.insert(id, to);
+                }
+                _ => panic!("defrag emits only moves"),
+            }
+        }
+        pos
+    }
+
+    #[test]
+    fn sorts_by_size_within_budget() {
+        // Input uses ~1.5x its volume; sort by size, ε = 0.5.
+        let objects = fragmented(&[7, 3, 12, 5, 9, 1, 4], 4);
+        let volume: u64 = objects.iter().map(|(_, e)| e.len).sum();
+        let delta = 12;
+        let sizes: HashMap<ObjectId, u64> = objects.iter().map(|&(i, e)| (i, e.len)).collect();
+        let report = defragment(&objects, 0.5, |a, b| sizes[&a].cmp(&sizes[&b])).unwrap();
+
+        assert!(!report.prefix_suffix_collision);
+        assert!(report.peak_space <= report.budget + delta, "peak {}", report.peak_space);
+        // Final layout is sorted ascending and contiguous at the right end.
+        let final_pos = replay(&objects, &report.ops);
+        let mut prev_size = 0;
+        let mut expected_offset = report.budget - volume;
+        for (oid, ext) in &report.sorted {
+            assert_eq!(final_pos[oid], *ext);
+            assert!(sizes[oid] >= prev_size, "not sorted");
+            assert_eq!(ext.offset, expected_offset, "not contiguous");
+            prev_size = sizes[oid];
+            expected_offset = ext.end();
+        }
+        assert_eq!(expected_offset, report.budget);
+    }
+
+    #[test]
+    fn sort_by_arbitrary_key_reverse_id() {
+        let objects = fragmented(&[4, 4, 4, 4], 2);
+        let report = defragment(&objects, 0.5, |a, b| b.0.cmp(&a.0)).unwrap();
+        let ids: Vec<u64> = report.sorted.iter().map(|(i, _)| i.0).collect();
+        assert_eq!(ids, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn already_compact_input_works() {
+        // No holes at all; the budget extends the array by εV.
+        let objects = fragmented(&[8, 8, 8, 8], 0);
+        let report = defragment(&objects, 0.5, |a, b| a.0.cmp(&b.0)).unwrap();
+        assert!(!report.prefix_suffix_collision);
+        replay(&objects, &report.ops);
+    }
+
+    #[test]
+    fn single_object_needs_no_moves_but_stays_valid() {
+        let objects = vec![(id(0), Extent::new(0, 10))];
+        let report = defragment(&objects, 0.5, |a, b| a.0.cmp(&b.0)).unwrap();
+        replay(&objects, &report.ops);
+        assert_eq!(report.sorted.len(), 1);
+        assert!(report.peak_space <= report.budget + 10);
+    }
+
+    #[test]
+    fn moves_per_object_bounded() {
+        // 60 objects, ε=0.5: the amortized bound is O((1/ε)log(1/ε)) ≈ small.
+        let sizes: Vec<u64> = (0..60).map(|i| 1 + (i * 5) % 32).collect();
+        let objects = fragmented(&sizes, 3);
+        let szmap: HashMap<ObjectId, u64> = objects.iter().map(|&(i, e)| (i, e.len)).collect();
+        let report = defragment(&objects, 0.5, |a, b| szmap[&a].cmp(&szmap[&b])).unwrap();
+        assert!(!report.prefix_suffix_collision);
+        let avg = report.avg_moves_per_object();
+        assert!(avg <= 16.0, "average moves per object too high: {avg}");
+        replay(&objects, &report.ops);
+    }
+
+    #[test]
+    fn tight_eps_stays_within_budget() {
+        let sizes: Vec<u64> = (0..80).map(|i| 1 + (i * 3) % 16).collect();
+        let objects = fragmented(&sizes, 1);
+        let report = defragment(&objects, 0.125, |a, b| a.0.cmp(&b.0)).unwrap();
+        assert!(!report.prefix_suffix_collision, "prefix hit suffix at ε=1/8");
+        let delta = sizes.iter().copied().max().unwrap();
+        assert!(report.peak_space <= report.budget + delta);
+        replay(&objects, &report.ops);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let overlapping = vec![(id(0), Extent::new(0, 10)), (id(1), Extent::new(5, 10))];
+        assert!(matches!(
+            defragment(&overlapping, 0.5, |a, b| a.0.cmp(&b.0)),
+            Err(DefragError::OverlappingInput(..))
+        ));
+        let zero = vec![(id(0), Extent::new(0, 0))];
+        assert!(matches!(
+            defragment(&zero, 0.5, |a, b| a.0.cmp(&b.0)),
+            Err(DefragError::ZeroSize(..))
+        ));
+        let dup = vec![(id(0), Extent::new(0, 4)), (id(0), Extent::new(10, 4))];
+        assert!(matches!(
+            defragment(&dup, 0.5, |a, b| a.0.cmp(&b.0)),
+            Err(DefragError::DuplicateId(..))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_trivially_sorted() {
+        let report = defragment(&[], 0.5, |a: ObjectId, b: ObjectId| a.0.cmp(&b.0)).unwrap();
+        assert!(report.ops.is_empty());
+        assert_eq!(report.peak_space, 0);
+    }
+}

@@ -1,0 +1,652 @@
+//! The size-class region layout shared by all three reallocator variants
+//! (paper Figure 2 and Invariant 2.2).
+//!
+//! The address space is a sequence of *regions*, one per size class in
+//! increasing class order, each comprising a *payload segment* followed by a
+//! *buffer segment*. Regions for classes that have never held an object have
+//! zero space. All offsets stored here are absolute addresses.
+
+use std::collections::{BTreeMap, HashMap};
+
+use realloc_common::{size_class, Extent, ObjectId};
+
+/// The tunable `ε` of Theorem 2.1, with the paper's internal `ε′ = Θ(ε)`
+/// fixed to `ε/3`.
+///
+/// `ε′ = ε/3` makes the steady-state bound exact: the structure holds at
+/// most `(1+ε′)·Σ V_{f_i}(i)` space over at least `(1−ε′)·Σ V_{f_i}(i)`
+/// live volume (Lemma 2.5), and `(1+ε/3)/(1−ε/3) ≤ 1+ε` for all `ε ≤ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eps {
+    eps: f64,
+    prime: f64,
+    pump_factor: f64,
+}
+
+impl Eps {
+    /// Creates the parameter; the paper requires `0 < ε ≤ 1/2`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 0.5, "the paper requires 0 < ε ≤ 1/2, got {eps}");
+        Eps { eps, prime: eps / 3.0, pump_factor: 4.0 }
+    }
+
+    /// Ablation constructor: overrides the internal buffer fraction `ε′`
+    /// (default `ε/3`) and the deamortized pump factor (default 4). Values
+    /// of `ε′` above `ε/3` trade footprint for fewer/cheaper flushes; the
+    /// `(1+ε)` footprint guarantee only holds for `ε′ ≤ ε/(2+ε)`.
+    pub fn custom(eps: f64, prime: f64, pump_factor: f64) -> Self {
+        assert!(eps > 0.0 && eps <= 0.5, "the paper requires 0 < ε ≤ 1/2, got {eps}");
+        assert!(prime > 0.0 && prime < 1.0, "ε′ must be in (0, 1)");
+        assert!(pump_factor >= 1.0, "pump factor must be ≥ 1");
+        Eps { eps, prime, pump_factor }
+    }
+
+    /// The footprint slack `ε`.
+    pub fn value(&self) -> f64 {
+        self.eps
+    }
+
+    /// The internal `ε′` (default `ε/3`).
+    pub fn prime(&self) -> f64 {
+        self.prime
+    }
+
+    /// Buffer segment size for a payload of volume `v`: `⌊ε′·v⌋`
+    /// (Invariant 2.4).
+    pub fn buffer_quota(&self, v: u64) -> u64 {
+        (self.prime * v as f64).floor() as u64
+    }
+
+    /// The deamortized structure's per-update work quota: `⌈(4/ε′)·w⌉`
+    /// cells of flush progress per size-`w` update (Section 3.3).
+    pub fn pump_quota(&self, w: u64) -> u64 {
+        ((self.pump_factor / self.prime) * w as f64).ceil() as u64
+    }
+}
+
+/// What occupies a slice of a buffer segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufKind {
+    /// A live object.
+    Obj(ObjectId),
+    /// A dummy delete record: space charged for a recent delete
+    /// (Section 2, "allocating and deallocating").
+    Tombstone,
+}
+
+/// One entry in a buffer segment. Entries are kept in offset order and are
+/// never reordered between flushes.
+#[derive(Debug, Clone, Copy)]
+pub struct BufEntry {
+    /// Absolute address of the entry's space.
+    pub offset: u64,
+    /// Cells consumed (object size, or deleted object's size for a
+    /// tombstone).
+    pub size: u64,
+    /// Size class of the (possibly deleted) object — what the boundary-class
+    /// scan inspects.
+    pub class: u32,
+    /// Live object or dummy delete record.
+    pub kind: BufKind,
+}
+
+/// One region: the payload + buffer pair dedicated to a size class.
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    /// Reserved payload space. Equals `V_t(class)` as of this region's last
+    /// flush (Invariant 2.4).
+    pub payload_space: u64,
+    /// Reserved buffer space, `⌊ε′·payload_space⌋` as of the last flush.
+    pub buffer_space: u64,
+    /// Live payload objects keyed by absolute offset.
+    pub payload: BTreeMap<u64, (ObjectId, u64)>,
+    /// Live volume currently in the payload (holes excluded).
+    pub payload_live: u64,
+    /// Buffer entries in offset order (objects and tombstones).
+    pub buffer: Vec<BufEntry>,
+    /// Space consumed in the buffer, tombstones included.
+    pub buffer_used: u64,
+}
+
+impl Region {
+    /// Total region width.
+    pub fn space(&self) -> u64 {
+        self.payload_space + self.buffer_space
+    }
+
+    /// Free space remaining in the buffer segment.
+    pub fn buffer_free(&self) -> u64 {
+        self.buffer_space - self.buffer_used
+    }
+}
+
+/// Where an object currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// In its class's payload segment.
+    Payload,
+    /// In the buffer segment of region `.0` (≥ the object's class).
+    Buffer(u32),
+    /// In the deamortized structure's tail buffer.
+    Tail,
+    /// Parked in the overflow/staging segment mid-flush.
+    Staging,
+    /// Written into the deamortized structure's log.
+    Log,
+}
+
+/// Index entry for a live object.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// Object length in cells.
+    pub size: u64,
+    /// The object's size class.
+    pub class: u32,
+    /// Absolute address of its first cell.
+    pub offset: u64,
+    /// Which segment currently holds it.
+    pub place: Place,
+    /// Deamortized structure only: delete requested but not yet drained
+    /// from the log; the object is still *active* (occupies space).
+    pub pending_delete: bool,
+}
+
+impl Entry {
+    /// The object's current placement as an extent.
+    pub fn extent(&self) -> Extent {
+        Extent::new(self.offset, self.size)
+    }
+}
+
+/// Read-only view of one region, for rendering and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionView {
+    /// The region's size class.
+    pub class: u32,
+    /// Absolute start address.
+    pub start: u64,
+    /// Reserved payload space.
+    pub payload_space: u64,
+    /// Reserved buffer space.
+    pub buffer_space: u64,
+    /// Live volume in the payload (holes excluded).
+    pub payload_live: u64,
+    /// Space consumed in the buffer (tombstones included).
+    pub buffer_used: u64,
+    /// Number of live payload objects.
+    pub payload_objects: usize,
+    /// Number of buffer entries (objects + tombstones).
+    pub buffer_entries: usize,
+}
+
+/// The region layout plus the object index — everything Invariant 2.2
+/// constrains.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    pub(crate) eps: Eps,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) index: HashMap<ObjectId, Entry>,
+    /// `V_t(class)`: live volume per class (pending deletes excluded —
+    /// this drives flush sizing, which drops deleted objects).
+    pub(crate) class_volume: Vec<u64>,
+    /// Σ class_volume.
+    pub(crate) volume: u64,
+    /// `∆`: largest object size ever inserted.
+    pub(crate) delta: u64,
+}
+
+impl Layout {
+    /// An empty layout with the given parameter.
+    pub fn new(eps: Eps) -> Self {
+        Layout {
+            eps,
+            regions: Vec::new(),
+            index: HashMap::new(),
+            class_volume: Vec::new(),
+            volume: 0,
+            delta: 0,
+        }
+    }
+
+    /// The footprint parameter.
+    pub fn eps(&self) -> Eps {
+        self.eps
+    }
+
+    /// Number of size classes with allocated regions (some may be empty).
+    pub fn class_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Absolute start of region `k` (prefix sum of earlier regions).
+    pub fn region_start(&self, k: u32) -> u64 {
+        self.regions[..k as usize].iter().map(Region::space).sum()
+    }
+
+    /// Absolute start of region `k`'s buffer segment.
+    pub fn buffer_start(&self, k: u32) -> u64 {
+        self.region_start(k) + self.regions[k as usize].payload_space
+    }
+
+    /// End of the last region — the structure size of the §2 algorithm.
+    pub fn regions_end(&self) -> u64 {
+        self.regions.iter().map(Region::space).sum()
+    }
+
+    /// End of the last *object* (the paper's footprint; `<= regions_end()`
+    /// except for transient mid-flush placements).
+    pub fn last_object_end(&self) -> u64 {
+        self.index.values().map(|e| e.extent().end()).max().unwrap_or(0)
+    }
+
+    /// Live volume (active objects, pending deletes included).
+    pub fn live_volume(&self) -> u64 {
+        self.volume
+            + self
+                .index
+                .values()
+                .filter(|e| e.pending_delete)
+                .map(|e| e.size)
+                .sum::<u64>()
+    }
+
+    /// Volume excluding pending deletes (drives flush sizing).
+    pub fn settled_volume(&self) -> u64 {
+        self.volume
+    }
+
+    /// `∆`: the largest object size ever inserted.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// Number of active objects.
+    pub fn live_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Current placement of an active object.
+    pub fn extent_of(&self, id: ObjectId) -> Option<Extent> {
+        self.index.get(&id).map(Entry::extent)
+    }
+
+    /// Read-only region views in class order.
+    pub fn region_views(&self) -> Vec<RegionView> {
+        let mut start = 0;
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(k, r)| {
+                let view = RegionView {
+                    class: k as u32,
+                    start,
+                    payload_space: r.payload_space,
+                    buffer_space: r.buffer_space,
+                    payload_live: r.payload_live,
+                    buffer_used: r.buffer_used,
+                    payload_objects: r.payload.len(),
+                    buffer_entries: r.buffer.len(),
+                };
+                start += r.space();
+                view
+            })
+            .collect()
+    }
+
+    /// Ensures regions `0..=k` exist (new ones zero-sized).
+    pub(crate) fn ensure_class(&mut self, k: u32) {
+        let need = k as usize + 1;
+        if self.regions.len() < need {
+            self.regions.resize_with(need, Region::default);
+            self.class_volume.resize(need, 0);
+        }
+    }
+
+    /// Registers a new object's volume (call before placement decisions so
+    /// flush sizing sees it, per §2: "Vt(i) immediately increases to count
+    /// the new object").
+    pub(crate) fn account_insert(&mut self, size: u64) -> u32 {
+        let k = size_class(size);
+        self.ensure_class(k);
+        self.class_volume[k as usize] += size;
+        self.volume += size;
+        self.delta = self.delta.max(size);
+        k
+    }
+
+    /// Unregisters a (non-pending) object's volume.
+    pub(crate) fn account_delete(&mut self, size: u64, class: u32) {
+        self.class_volume[class as usize] -= size;
+        self.volume -= size;
+    }
+
+    /// Earliest region `j >= class` whose buffer can absorb `size` more
+    /// cells (insert/dummy placement rule of §2).
+    pub(crate) fn find_buffer(&self, class: u32, size: u64) -> Option<u32> {
+        (class..self.regions.len() as u32)
+            .find(|&j| self.regions[j as usize].buffer_free() >= size)
+    }
+
+    /// Appends an entry to region `j`'s buffer, returning its offset.
+    /// Callers must have verified the space via [`Self::find_buffer`], except
+    /// for the checkpointed trigger placement which intentionally overflows.
+    pub(crate) fn push_buffer_entry(&mut self, j: u32, size: u64, class: u32, kind: BufKind) -> u64 {
+        let offset = self.buffer_start(j) + self.regions[j as usize].buffer_used;
+        let region = &mut self.regions[j as usize];
+        region.buffer.push(BufEntry { offset, size, class, kind });
+        region.buffer_used += size;
+        offset
+    }
+
+    /// The boundary size class `b` for a flush triggered by an object of
+    /// class `trigger_class` (§2): the largest `b` such that every object
+    /// (and tombstone) in buffers `>= b`, plus the trigger, has class
+    /// `>= b`. Scans regions from largest to smallest.
+    pub(crate) fn boundary_class(&self, trigger_class: u32) -> u32 {
+        let mut min_seen = trigger_class;
+        for j in (0..self.regions.len() as u32).rev() {
+            for entry in &self.regions[j as usize].buffer {
+                min_seen = min_seen.min(entry.class);
+            }
+            if j <= min_seen {
+                return j;
+            }
+        }
+        0
+    }
+
+    /// Live buffered objects in buffers of regions `>= b`, in (region,
+    /// offset) order: the inputs to a flush's step 1.
+    pub(crate) fn buffered_objects_with_offsets(
+        &self,
+        b: u32,
+    ) -> Vec<crate::plan::FlushObj> {
+        let mut out = Vec::new();
+        for j in b..self.regions.len() as u32 {
+            for entry in &self.regions[j as usize].buffer {
+                if let BufKind::Obj(id) = entry.kind {
+                    out.push(crate::plan::FlushObj {
+                        id,
+                        size: entry.size,
+                        class: entry.class,
+                        offset: entry.offset,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Payload survivors of classes `>= b` in (class, offset) order: the
+    /// inputs to a flush's compaction steps.
+    pub(crate) fn survivors_from(&self, b: u32) -> Vec<(ObjectId, u64, u32, u64)> {
+        let mut out = Vec::new();
+        for k in b..self.regions.len() as u32 {
+            for (&offset, &(id, size)) in &self.regions[k as usize].payload {
+                out.push((id, size, k, offset));
+            }
+        }
+        out
+    }
+
+    /// Removes an object from whichever segment holds it, leaving a hole
+    /// (payload) or a tombstone (buffer/tail). Returns its former entry.
+    /// Does not touch volume accounting.
+    pub(crate) fn detach_object(&mut self, id: ObjectId) -> Option<Entry> {
+        let entry = self.index.remove(&id)?;
+        match entry.place {
+            Place::Payload => {
+                let region = &mut self.regions[entry.class as usize];
+                let removed = region.payload.remove(&entry.offset);
+                debug_assert!(matches!(removed, Some((rid, _)) if rid == id));
+                region.payload_live -= entry.size;
+            }
+            Place::Buffer(j) => {
+                let region = &mut self.regions[j as usize];
+                let slot = region
+                    .buffer
+                    .iter_mut()
+                    .find(|e| e.offset == entry.offset)
+                    .expect("buffer entry present for indexed object");
+                debug_assert_eq!(slot.kind, BufKind::Obj(id));
+                // The object's own space becomes its dummy delete record.
+                slot.kind = BufKind::Tombstone;
+            }
+            Place::Tail | Place::Staging | Place::Log => {
+                // Variant-specific segments are managed by their owners.
+            }
+        }
+        Some(entry)
+    }
+
+    /// Places an object into its class's payload at `offset` and indexes it.
+    pub(crate) fn attach_payload(&mut self, id: ObjectId, size: u64, class: u32, offset: u64) {
+        let region = &mut self.regions[class as usize];
+        region.payload.insert(offset, (id, size));
+        region.payload_live += size;
+        self.index.insert(
+            id,
+            Entry { size, class, offset, place: Place::Payload, pending_delete: false },
+        );
+    }
+
+    /// Indexes an object sitting in region `j`'s buffer at `offset` (the
+    /// buffer entry itself must already exist via `push_buffer_entry`).
+    pub(crate) fn attach_buffered(&mut self, id: ObjectId, size: u64, class: u32, j: u32, offset: u64) {
+        self.index.insert(
+            id,
+            Entry { size, class, offset, place: Place::Buffer(j), pending_delete: false },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps() -> Eps {
+        Eps::new(0.3)
+    }
+
+    #[test]
+    fn eps_prime_is_a_third() {
+        let e = Eps::new(0.3);
+        assert!((e.prime() - 0.1).abs() < 1e-12);
+        assert_eq!(e.buffer_quota(100), 10);
+        assert_eq!(e.buffer_quota(9), 0); // floor
+    }
+
+    #[test]
+    fn eps_steady_state_bound_holds_for_all_valid_eps() {
+        // (1+ε′)/(1−ε′) ≤ 1+ε for ε′=ε/3 — the Lemma 2.5 constant.
+        for i in 1..=50 {
+            let eps = i as f64 / 100.0;
+            let e = Eps::new(eps);
+            let p = e.prime();
+            assert!((1.0 + p) / (1.0 - p) <= 1.0 + eps + 1e-12, "ε={eps}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < ε ≤ 1/2")]
+    fn eps_rejects_out_of_range() {
+        Eps::new(0.6);
+    }
+
+    #[test]
+    fn pump_quota_matches_four_over_eps_prime() {
+        let e = Eps::new(0.3); // ε′ = 0.1 → 40 cells per unit
+        assert_eq!(e.pump_quota(1), 40);
+        assert_eq!(e.pump_quota(10), 400);
+    }
+
+    #[test]
+    fn eps_custom_overrides_prime_and_pump() {
+        let e = Eps::custom(0.5, 0.25, 8.0);
+        assert_eq!(e.value(), 0.5);
+        assert_eq!(e.prime(), 0.25);
+        assert_eq!(e.buffer_quota(100), 25);
+        assert_eq!(e.pump_quota(10), 320); // (8/0.25)·10
+    }
+
+    #[test]
+    #[should_panic(expected = "ε′ must be in (0, 1)")]
+    fn eps_custom_rejects_bad_prime() {
+        Eps::custom(0.5, 1.5, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pump factor")]
+    fn eps_custom_rejects_bad_pump() {
+        Eps::custom(0.5, 0.1, 0.5);
+    }
+
+    #[test]
+    fn ensure_class_grows_regions() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(3);
+        assert_eq!(l.class_count(), 4);
+        assert_eq!(l.regions_end(), 0); // all zero-sized
+    }
+
+    #[test]
+    fn region_geometry_prefix_sums() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(2);
+        l.regions[0].payload_space = 10;
+        l.regions[0].buffer_space = 1;
+        l.regions[1].payload_space = 20;
+        l.regions[1].buffer_space = 2;
+        l.regions[2].payload_space = 40;
+        l.regions[2].buffer_space = 4;
+        assert_eq!(l.region_start(0), 0);
+        assert_eq!(l.region_start(1), 11);
+        assert_eq!(l.region_start(2), 33);
+        assert_eq!(l.buffer_start(2), 73);
+        assert_eq!(l.regions_end(), 77);
+    }
+
+    #[test]
+    fn account_insert_tracks_class_volume_and_delta() {
+        let mut l = Layout::new(eps());
+        assert_eq!(l.account_insert(5), 2);
+        assert_eq!(l.account_insert(1), 0);
+        assert_eq!(l.class_volume[2], 5);
+        assert_eq!(l.class_volume[0], 1);
+        assert_eq!(l.settled_volume(), 6);
+        assert_eq!(l.delta(), 5);
+        l.account_delete(5, 2);
+        assert_eq!(l.settled_volume(), 1);
+        assert_eq!(l.delta(), 5, "∆ never decreases");
+    }
+
+    #[test]
+    fn find_buffer_picks_earliest_feasible() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(3);
+        l.regions[1].buffer_space = 4;
+        l.regions[2].buffer_space = 10;
+        l.regions[3].buffer_space = 10;
+        // Object of class 1 and size 6: buffer 1 too small, buffer 2 fits.
+        assert_eq!(l.find_buffer(1, 6), Some(2));
+        // Class 3 object may only use buffer 3.
+        assert_eq!(l.find_buffer(3, 6), Some(3));
+        // Nothing fits a size-11 request.
+        assert_eq!(l.find_buffer(0, 11), None);
+    }
+
+    #[test]
+    fn boundary_class_scan() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(4);
+        for k in 0..=4u32 {
+            l.regions[k as usize].payload_space = 16 << k;
+            l.regions[k as usize].buffer_space = 8;
+        }
+        // Empty buffers: boundary is the trigger's class.
+        assert_eq!(l.boundary_class(3), 3);
+        // A class-1 object parked in buffer 3 drags the boundary for a
+        // class-3 trigger down to 1 — but a class-4 trigger stops at 4,
+        // because buffer 4 is clean and b is chosen *maximal*.
+        l.push_buffer_entry(3, 2, 1, BufKind::Obj(ObjectId(9)));
+        assert_eq!(l.boundary_class(4), 4);
+        assert_eq!(l.boundary_class(3), 1);
+        // ...but a class-2 trigger cannot stop above it either: b must
+        // satisfy "all buffered objects in buffers >= b have class >= b".
+        assert_eq!(l.boundary_class(2), 1);
+        // A trigger of class 0 pins the boundary to 0.
+        assert_eq!(l.boundary_class(0), 0);
+    }
+
+    #[test]
+    fn boundary_class_ignores_buffers_below_stop() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(4);
+        for k in 0..=4u32 {
+            l.regions[k as usize].buffer_space = 8;
+        }
+        // A class-0 object in buffer 1 does not affect a flush whose suffix
+        // starts above it: boundary for a class-3 trigger is 3 because
+        // buffers 3 and 4 are clean.
+        l.push_buffer_entry(1, 1, 0, BufKind::Obj(ObjectId(5)));
+        assert_eq!(l.boundary_class(3), 3);
+    }
+
+    #[test]
+    fn tombstones_participate_in_boundary() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(3);
+        for k in 0..=3u32 {
+            l.regions[k as usize].buffer_space = 8;
+        }
+        // A tombstone for a deleted class-0 object in buffer 2: a class-3
+        // trigger stops at 3 (buffer 3 clean), but a class-2 trigger must
+        // include the tombstone's class.
+        l.push_buffer_entry(2, 1, 0, BufKind::Tombstone);
+        assert_eq!(l.boundary_class(3), 3);
+        assert_eq!(l.boundary_class(2), 0);
+    }
+
+    #[test]
+    fn detach_payload_leaves_hole() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(6);
+        l.ensure_class(k);
+        l.regions[k as usize].payload_space = 6;
+        l.attach_payload(ObjectId(1), 6, k, 0);
+        assert_eq!(l.extent_of(ObjectId(1)), Some(Extent::new(0, 6)));
+        let entry = l.detach_object(ObjectId(1)).unwrap();
+        assert_eq!(entry.size, 6);
+        assert_eq!(l.regions[k as usize].payload_live, 0);
+        assert_eq!(l.regions[k as usize].payload_space, 6, "hole: space unchanged");
+        assert_eq!(l.extent_of(ObjectId(1)), None);
+    }
+
+    #[test]
+    fn detach_buffered_becomes_tombstone() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(3);
+        l.regions[k as usize].buffer_space = 8;
+        let off = l.push_buffer_entry(k, 3, k, BufKind::Obj(ObjectId(7)));
+        l.attach_buffered(ObjectId(7), 3, k, k, off);
+        l.detach_object(ObjectId(7)).unwrap();
+        let region = &l.regions[k as usize];
+        assert_eq!(region.buffer.len(), 1);
+        assert_eq!(region.buffer[0].kind, BufKind::Tombstone);
+        assert_eq!(region.buffer_used, 3, "tombstone still consumes space");
+    }
+
+    #[test]
+    fn region_views_expose_geometry() {
+        let mut l = Layout::new(eps());
+        l.ensure_class(1);
+        l.regions[0].payload_space = 4;
+        l.regions[0].buffer_space = 1;
+        l.regions[1].payload_space = 8;
+        let views = l.region_views();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].start, 0);
+        assert_eq!(views[1].start, 5);
+        assert_eq!(views[1].payload_space, 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! ASCII rendering of the region layout — the tooling behind the Figure 2 /
+//! Figure 3 reproductions and the examples' visual output.
+
+use crate::layout::RegionView;
+
+/// Renders region views as a one-line-per-class bar diagram:
+///
+/// ```text
+/// class 3 @    64 |████████░░----|··|   payload 10/14, buffer 2/2
+/// ```
+///
+/// `█` live payload, `░` payload holes, `-` reserved-but-unassigned payload,
+/// `·` buffer space (uppercase `▪` where used). `cell_per_char` controls
+/// horizontal scale.
+pub fn render_regions(views: &[RegionView], cell_per_char: u64) -> String {
+    let scale = cell_per_char.max(1);
+    let mut out = String::new();
+    for v in views {
+        if v.payload_space == 0 && v.buffer_space == 0 {
+            continue;
+        }
+        let chars = |cells: u64| (cells / scale) as usize;
+        let live = chars(v.payload_live);
+        let holes = chars(v.payload_space - v.payload_live);
+        let buf_used = chars(v.buffer_used);
+        let buf_free = chars(v.buffer_space - v.buffer_used);
+        out.push_str(&format!(
+            "class {:>2} @ {:>8} |{}{}|{}{}|  payload {}/{} ({} objs), buffer {}/{} ({} entries)\n",
+            v.class,
+            v.start,
+            "\u{2588}".repeat(live),
+            "\u{2591}".repeat(holes),
+            "\u{25aa}".repeat(buf_used),
+            "\u{b7}".repeat(buf_free),
+            v.payload_live,
+            v.payload_space,
+            v.payload_objects,
+            v.buffer_used,
+            v.buffer_space,
+            v.buffer_entries,
+        ));
+    }
+    if out.is_empty() {
+        out.push_str("(empty layout)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(class: u32, start: u64) -> RegionView {
+        RegionView {
+            class,
+            start,
+            payload_space: 16,
+            buffer_space: 4,
+            payload_live: 12,
+            buffer_used: 2,
+            payload_objects: 3,
+            buffer_entries: 1,
+        }
+    }
+
+    #[test]
+    fn renders_one_line_per_nonempty_region() {
+        let s = render_regions(&[view(2, 0), view(3, 20)], 1);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("class  2 @        0"));
+        assert!(s.contains("payload 12/16 (3 objs)"));
+    }
+
+    #[test]
+    fn skips_empty_regions() {
+        let empty = RegionView {
+            class: 0,
+            start: 0,
+            payload_space: 0,
+            buffer_space: 0,
+            payload_live: 0,
+            buffer_used: 0,
+            payload_objects: 0,
+            buffer_entries: 0,
+        };
+        let s = render_regions(&[empty, view(5, 0)], 2);
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("class  5"));
+    }
+
+    #[test]
+    fn empty_layout_message() {
+        assert_eq!(render_regions(&[], 1), "(empty layout)\n");
+    }
+}

@@ -1,0 +1,216 @@
+//! Numerical membership checks for the class `Fsa` of monotonically
+//! increasing, subadditive cost functions.
+//!
+//! These cannot *prove* membership (that's a property over all of `ℕ²`), but
+//! they probe a dense deterministic grid plus multiplicative ladders, which
+//! in practice catches every non-member we ship (see [`Superlinear`]'s
+//! failure in the tests).
+//!
+//! [`Superlinear`]: crate::functions::Superlinear
+
+use crate::functions::CostFn;
+
+/// Result of probing a cost function for `Fsa` membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipReport {
+    /// First `(x, y)` found with `f(x+y) > f(x) + f(y)` (plus tolerance).
+    pub subadditivity_violation: Option<(u64, u64)>,
+    /// First `x` found with `f(x+1) < f(x)` (minus tolerance).
+    pub monotonicity_violation: Option<u64>,
+    /// First `x` found with `f(x) <= 0` — the paper assumes every
+    /// allocation has positive cost.
+    pub positivity_violation: Option<u64>,
+}
+
+impl MembershipReport {
+    /// Whether no violation was found.
+    pub fn is_member(&self) -> bool {
+        self.subadditivity_violation.is_none()
+            && self.monotonicity_violation.is_none()
+            && self.positivity_violation.is_none()
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+/// Probes `f` for membership in `Fsa` on sizes up to `max_size`.
+///
+/// * Monotonicity and positivity are checked on `dense_upto` consecutive
+///   sizes and then on a doubling ladder up to `max_size`.
+/// * Subadditivity is checked on all pairs from a mixed grid of `grid_pts`
+///   small values and the doubling ladder — `O((grid_pts + log max)²)`
+///   pairs.
+pub fn check_membership(f: &dyn CostFn, max_size: u64, dense_upto: u64, grid_pts: u64) -> MembershipReport {
+    let mut report = MembershipReport {
+        subadditivity_violation: None,
+        monotonicity_violation: None,
+        positivity_violation: None,
+    };
+
+    // Positivity + monotonicity: dense prefix.
+    let dense_hi = dense_upto.min(max_size);
+    let mut prev = 0.0f64;
+    for x in 1..=dense_hi {
+        let fx = f.cost(x);
+        if fx <= 0.0 && report.positivity_violation.is_none() {
+            report.positivity_violation = Some(x);
+        }
+        if fx + TOL < prev && report.monotonicity_violation.is_none() {
+            report.monotonicity_violation = Some(x - 1);
+        }
+        prev = fx;
+    }
+    // ... then a doubling ladder to max_size.
+    let mut x = dense_hi.max(1);
+    let mut fx = f.cost(x);
+    while x < max_size {
+        let next = (x * 2).min(max_size);
+        let fnext = f.cost(next);
+        if fnext + TOL < fx && report.monotonicity_violation.is_none() {
+            report.monotonicity_violation = Some(x);
+        }
+        if fnext <= 0.0 && report.positivity_violation.is_none() {
+            report.positivity_violation = Some(next);
+        }
+        x = next;
+        fx = fnext;
+    }
+
+    // Subadditivity on a mixed grid.
+    let mut grid: Vec<u64> = (1..=grid_pts.min(max_size)).collect();
+    let mut v = grid_pts.max(1);
+    while v < max_size {
+        v = (v * 2).min(max_size);
+        grid.push(v);
+        if v == max_size {
+            break;
+        }
+    }
+    grid.sort_unstable();
+    grid.dedup();
+    'outer: for (i, &a) in grid.iter().enumerate() {
+        for &b in &grid[i..] {
+            let Some(sum) = a.checked_add(b) else { continue };
+            if sum > max_size {
+                continue;
+            }
+            if f.cost(sum) > f.cost(a) + f.cost(b) + TOL {
+                report.subadditivity_violation = Some((a, b));
+                break 'outer;
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::*;
+
+    #[test]
+    fn members_pass() {
+        for f in crate::standard_suite() {
+            assert!(check_membership(f.as_ref(), 1 << 14, 1024, 7).is_member());
+        }
+    }
+
+    #[test]
+    fn quadratic_fails_subadditivity() {
+        let report = check_membership(&Superlinear, 1 << 10, 64, 7);
+        assert!(report.subadditivity_violation.is_some());
+        assert!(report.monotonicity_violation.is_none());
+    }
+
+    #[test]
+    fn decreasing_function_fails_monotonicity() {
+        struct Decreasing;
+        impl CostFn for Decreasing {
+            fn cost(&self, w: u64) -> f64 {
+                1000.0 / (w as f64)
+            }
+            fn name(&self) -> &'static str {
+                "decreasing"
+            }
+        }
+        let report = check_membership(&Decreasing, 1 << 10, 64, 7);
+        assert!(report.monotonicity_violation.is_some());
+    }
+
+    #[test]
+    fn nonpositive_function_flagged() {
+        struct Zero;
+        impl CostFn for Zero {
+            fn cost(&self, _w: u64) -> f64 {
+                0.0
+            }
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+        }
+        let report = check_membership(&Zero, 128, 16, 4);
+        assert_eq!(report.positivity_violation, Some(1));
+    }
+
+    #[test]
+    fn tolerance_permits_linear_equality() {
+        // Linear satisfies subadditivity with equality; floating-point noise
+        // must not be reported as a violation.
+        let report = check_membership(&Linear::per_cell(3.0), 1 << 16, 4096, 16);
+        assert!(report.is_member());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::functions::{Affine, SsdErase};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every affine disk model (seek ≥ 0, bandwidth > 0) is in Fsa.
+        #[test]
+        fn affine_family_is_subadditive(seek in 0.0f64..10_000.0, per_cell in 0.001f64..100.0) {
+            let report = check_membership(&Affine::disk(seek, per_cell), 1 << 12, 256, 6);
+            prop_assert!(report.is_member(), "{report:?}");
+        }
+
+        /// Every SSD erase-block model is in Fsa, staircase and all.
+        #[test]
+        fn ssd_family_is_subadditive(
+            block in 1u64..=512,
+            erase in 0.1f64..1_000.0,
+            program in 0.0f64..10.0,
+        ) {
+            let report = check_membership(&SsdErase::new(block, erase, program), 1 << 12, 256, 6);
+            prop_assert!(report.is_member(), "{report:?}");
+        }
+
+        /// Power functions f(w) = w^p: subadditive iff p ≤ 1 — the checker
+        /// must agree on both sides of the boundary.
+        #[test]
+        fn power_functions_classified_correctly(p in 0.1f64..=2.0) {
+            struct Power(f64);
+            impl CostFn for Power {
+                fn cost(&self, w: u64) -> f64 {
+                    (w as f64).powf(self.0)
+                }
+                fn name(&self) -> &'static str {
+                    "power"
+                }
+            }
+            let report = check_membership(&Power(p), 1 << 10, 128, 6);
+            if p <= 1.0 {
+                prop_assert!(report.is_member(), "w^{p} wrongly rejected: {report:?}");
+            } else if p >= 1.05 {
+                // Clearly superadditive powers must be caught (we leave the
+                // sliver just above 1 to numerical tolerance).
+                prop_assert!(
+                    report.subadditivity_violation.is_some(),
+                    "w^{p} wrongly accepted"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Concrete cost functions modelling real storage media.
+//!
+//! Each type documents which medium it abstracts and why it is subadditive.
+//! All functions are normalized so `f(w) > 0` for `w >= 1`, matching the
+//! paper's assumption that every allocation has positive cost.
+
+/// A cost function `f(w)` giving the cost of allocating or moving a `w`-cell
+/// object.
+///
+/// The paper's algorithms never call this — that is the whole point of cost
+/// obliviousness. Only ledgers and experiment harnesses do.
+pub trait CostFn {
+    /// Cost of allocating or moving a size-`w` object.
+    fn cost(&self, w: u64) -> f64;
+
+    /// Short name for experiment tables, e.g. `"linear"`.
+    fn name(&self) -> &'static str;
+
+    /// Whether this function is known to be monotone + subadditive. The one
+    /// deliberate outlier ([`Superlinear`]) reports `false`; it exists to
+    /// demonstrate what the paper's guarantee does *not* cover.
+    fn in_fsa(&self) -> bool {
+        true
+    }
+}
+
+/// `f(w) = 1`: every object costs the same to move regardless of size.
+///
+/// Models seek-dominated media (one disk seek per object, transfer time
+/// negligible) and is one of the two extreme points the paper's intuition
+/// section analyses. Constant functions are trivially subadditive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unit;
+
+impl CostFn for Unit {
+    fn cost(&self, _w: u64) -> f64 {
+        1.0
+    }
+    fn name(&self) -> &'static str {
+        "unit"
+    }
+}
+
+/// `f(w) = c·w`: cost proportional to object size.
+///
+/// Models RAM/memcpy-dominated media — the garbage-collection literature's
+/// usual assumption. Linear functions are subadditive with equality.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    per_cell: f64,
+}
+
+impl Linear {
+    /// Linear cost with `per_cell` cost per cell.
+    pub fn per_cell(per_cell: f64) -> Self {
+        assert!(per_cell > 0.0);
+        Linear { per_cell }
+    }
+}
+
+impl CostFn for Linear {
+    fn cost(&self, w: u64) -> f64 {
+        self.per_cell * w as f64
+    }
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// `f(w) = a + b·w`: a rotating disk — fixed positioning cost `a` (seek +
+/// rotational latency) plus bandwidth-limited transfer `b·w`.
+///
+/// Affine functions with `a >= 0` are subadditive:
+/// `a + b(x+y) <= (a + bx) + (a + by)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Affine {
+    seek: f64,
+    per_cell: f64,
+}
+
+impl Affine {
+    /// Disk model with fixed `seek` cost and `per_cell` transfer cost.
+    pub fn disk(seek: f64, per_cell: f64) -> Self {
+        assert!(seek >= 0.0 && per_cell >= 0.0 && seek + per_cell > 0.0);
+        Affine { seek, per_cell }
+    }
+}
+
+impl CostFn for Affine {
+    fn cost(&self, w: u64) -> f64 {
+        self.seek + self.per_cell * w as f64
+    }
+    fn name(&self) -> &'static str {
+        "disk-affine"
+    }
+}
+
+/// `f(w) = √w`: strongly concave, hence subadditive; stresses the regime
+/// where small objects are much more expensive per unit size than large
+/// ones — exactly the asymmetry the size-class layout exploits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqrtCost;
+
+impl CostFn for SqrtCost {
+    fn cost(&self, w: u64) -> f64 {
+        (w as f64).sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "sqrt"
+    }
+}
+
+/// `f(w) = 1 + log2(w)`: an even flatter concave function (metadata-update
+/// dominated cost). Concave + increasing + `f(0)=1>0` ⇒ subadditive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogCost;
+
+impl CostFn for LogCost {
+    fn cost(&self, w: u64) -> f64 {
+        1.0 + (w as f64).log2().max(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "log"
+    }
+}
+
+/// An SSD/flash model: writing `w` cells programs `⌈w / block⌉` erase blocks
+/// at `erase` cost each plus `program` per cell.
+///
+/// `⌈(x+y)/B⌉ <= ⌈x/B⌉ + ⌈y/B⌉` and sums of subadditive functions are
+/// subadditive, so this is in `Fsa`. It is *not* concave (staircase), making
+/// it a good test that the algorithms rely on subadditivity only.
+#[derive(Debug, Clone, Copy)]
+pub struct SsdErase {
+    block: u64,
+    erase: f64,
+    program: f64,
+}
+
+impl SsdErase {
+    /// `block` cells per erase block, `erase` cost per block erase,
+    /// `program` cost per cell programmed.
+    pub fn new(block: u64, erase: f64, program: f64) -> Self {
+        assert!(block > 0);
+        assert!(erase >= 0.0 && program >= 0.0 && erase + program > 0.0);
+        SsdErase { block, erase, program }
+    }
+}
+
+impl CostFn for SsdErase {
+    fn cost(&self, w: u64) -> f64 {
+        let blocks = w.div_ceil(self.block);
+        self.erase * blocks as f64 + self.program * w as f64
+    }
+    fn name(&self) -> &'static str {
+        "ssd-erase"
+    }
+}
+
+/// `f(w) = min(w, cap)`: linear until the transfer saturates some fixed
+/// budget (e.g. a prefetch window), constant afterwards. Minimum of
+/// subadditive functions is subadditive when both are monotone increasing
+/// (here: `min(x+y,C) <= min(x,C)+min(y,C)` holds directly).
+#[derive(Debug, Clone, Copy)]
+pub struct Capped {
+    cap: f64,
+}
+
+impl Capped {
+    /// Linear up to `cap`, constant afterwards.
+    pub fn new(cap: f64) -> Self {
+        assert!(cap >= 1.0);
+        Capped { cap }
+    }
+}
+
+impl CostFn for Capped {
+    fn cost(&self, w: u64) -> f64 {
+        (w as f64).min(self.cap)
+    }
+    fn name(&self) -> &'static str {
+        "capped"
+    }
+}
+
+/// `f(w) = w²` — **deliberately superadditive**, i.e. *not* in `Fsa`.
+///
+/// The paper's guarantee is explicitly restricted to subadditive cost
+/// functions; this function exists so tests and experiments can show the
+/// competitive bound failing outside the class (a negative control).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Superlinear;
+
+impl CostFn for Superlinear {
+    fn cost(&self, w: u64) -> f64 {
+        let w = w as f64;
+        w * w
+    }
+    fn name(&self) -> &'static str {
+        "quadratic(!Fsa)"
+    }
+    fn in_fsa(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_flat() {
+        assert_eq!(Unit.cost(1), 1.0);
+        assert_eq!(Unit.cost(1 << 40), 1.0);
+    }
+
+    #[test]
+    fn linear_scales() {
+        let f = Linear::per_cell(2.0);
+        assert_eq!(f.cost(10), 20.0);
+    }
+
+    #[test]
+    fn affine_has_fixed_component() {
+        let f = Affine::disk(100.0, 1.0);
+        assert_eq!(f.cost(1), 101.0);
+        assert_eq!(f.cost(1000), 1100.0);
+        // Seek dominates small objects: per-cell cost decreasing.
+        assert!(f.cost(1) / 1.0 > f.cost(1000) / 1000.0);
+    }
+
+    #[test]
+    fn ssd_staircase() {
+        let f = SsdErase::new(4, 10.0, 1.0);
+        assert_eq!(f.cost(1), 11.0);
+        assert_eq!(f.cost(4), 14.0);
+        assert_eq!(f.cost(5), 25.0); // second erase block
+    }
+
+    #[test]
+    fn capped_saturates() {
+        let f = Capped::new(8.0);
+        assert_eq!(f.cost(4), 4.0);
+        assert_eq!(f.cost(8), 8.0);
+        assert_eq!(f.cost(100), 8.0);
+    }
+
+    #[test]
+    fn superlinear_flags_itself() {
+        assert!(!Superlinear.in_fsa());
+        assert!(Unit.in_fsa());
+        // And it really is superadditive: f(2) > 2·f(1).
+        assert!(Superlinear.cost(2) > 2.0 * Superlinear.cost(1));
+    }
+
+    #[test]
+    fn log_positive_at_one() {
+        assert_eq!(LogCost.cost(1), 1.0);
+        assert!(LogCost.cost(2) > LogCost.cost(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn linear_rejects_nonpositive_slope() {
+        Linear::per_cell(0.0);
+    }
+}

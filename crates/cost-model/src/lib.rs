@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Cost functions for storage reallocation.
+//!
+//! The paper's algorithms are *cost oblivious* with respect to `Fsa`, the
+//! class of monotonically increasing, subadditive functions
+//! (`f(x + y) <= f(x) + f(y)`). This crate supplies the concrete members of
+//! `Fsa` used throughout the experiments — each modelling a real storage
+//! medium — plus numerical checkers that verify membership in the class.
+//!
+//! Because the algorithms never consult the cost function, experiment
+//! harnesses run the algorithm once and price the recorded move log under
+//! every function here (see `realloc_common::Ledger`).
+
+pub mod check;
+pub mod functions;
+
+pub use check::{check_membership, MembershipReport};
+pub use functions::{
+    Affine, Capped, CostFn, Linear, LogCost, SqrtCost, SsdErase, Superlinear, Unit,
+};
+
+/// The standard suite of subadditive cost functions used by every
+/// experiment table, in display order.
+pub fn standard_suite() -> Vec<Box<dyn CostFn>> {
+    vec![
+        Box::new(Unit),
+        Box::new(Linear::per_cell(1.0)),
+        Box::new(Affine::disk(64.0, 0.5)),
+        Box::new(SqrtCost),
+        Box::new(LogCost),
+        Box::new(SsdErase::new(128, 8.0, 0.25)),
+        Box::new(Capped::new(256.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_members_are_all_in_fsa() {
+        for f in standard_suite() {
+            let report = check_membership(f.as_ref(), 1 << 16, 4096, 7);
+            assert!(report.is_member(), "{} failed Fsa membership: {report:?}", f.name());
+        }
+    }
+
+    #[test]
+    fn standard_suite_has_distinct_names() {
+        let suite = standard_suite();
+        let mut names: Vec<_> = suite.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! Device latency models: price an op stream in simulated time.
+//!
+//! The algorithms never see these numbers (cost obliviousness); the models
+//! exist so examples and experiments can report "simulated milliseconds on a
+//! disk-like device" instead of abstract cost units.
+
+use cost_model::CostFn;
+use realloc_common::StorageOp;
+
+/// A storage device characterized by a per-object transfer cost function and
+/// a fixed checkpoint latency.
+pub struct DeviceModel {
+    cost: Box<dyn CostFn>,
+    checkpoint_latency: f64,
+}
+
+impl DeviceModel {
+    /// A device whose allocate/move latency for a `w`-cell object is
+    /// `cost.cost(w)` and whose checkpoints take `checkpoint_latency`.
+    pub fn new(cost: Box<dyn CostFn>, checkpoint_latency: f64) -> Self {
+        assert!(checkpoint_latency >= 0.0);
+        DeviceModel { cost, checkpoint_latency }
+    }
+
+    /// Name of the underlying cost function.
+    pub fn name(&self) -> &'static str {
+        self.cost.name()
+    }
+
+    /// Simulated time to execute one op.
+    pub fn time_of(&self, op: &StorageOp) -> f64 {
+        match op {
+            StorageOp::Allocate { to, .. } => self.cost.cost(to.len),
+            StorageOp::Move { to, .. } => self.cost.cost(to.len),
+            StorageOp::Free { .. } => 0.0,
+            StorageOp::CheckpointBarrier => self.checkpoint_latency,
+        }
+    }
+
+    /// Simulated time to execute a whole stream.
+    pub fn time_of_stream(&self, ops: &[StorageOp]) -> f64 {
+        ops.iter().map(|op| self.time_of(op)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cost_model::{Affine, Unit};
+    use realloc_common::{Extent, ObjectId};
+
+    #[test]
+    fn prices_ops_by_kind() {
+        let dev = DeviceModel::new(Box::new(Affine::disk(10.0, 1.0)), 100.0);
+        let a = StorageOp::Allocate { id: ObjectId(1), to: Extent::new(0, 5) };
+        let m = StorageOp::Move { id: ObjectId(1), from: Extent::new(0, 5), to: Extent::new(10, 5) };
+        let f = StorageOp::Free { id: ObjectId(1), at: Extent::new(10, 5) };
+        let c = StorageOp::CheckpointBarrier;
+        assert_eq!(dev.time_of(&a), 15.0);
+        assert_eq!(dev.time_of(&m), 15.0);
+        assert_eq!(dev.time_of(&f), 0.0);
+        assert_eq!(dev.time_of(&c), 100.0);
+        assert_eq!(dev.time_of_stream(&[a, m, f, c]), 130.0);
+    }
+
+    #[test]
+    fn unit_device_counts_operations() {
+        let dev = DeviceModel::new(Box::new(Unit), 0.0);
+        let ops = vec![
+            StorageOp::Allocate { id: ObjectId(1), to: Extent::new(0, 1000) },
+            StorageOp::Move { id: ObjectId(1), from: Extent::new(0, 1000), to: Extent::new(2000, 1000) },
+        ];
+        assert_eq!(dev.time_of_stream(&ops), 2.0);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Simulated database storage substrate.
+//!
+//! The paper (Section 3.1) abstracts a database's storage engine — modelled
+//! on TokuDB's *block translation layer* — to three rules:
+//!
+//! 1. **Names are immutable, addresses are not.** Requests refer to objects
+//!    by name; a translation layer maps names to physical extents and is
+//!    written out durably at every checkpoint.
+//! 2. **Nonoverlapping moves.** Object writes are not atomic, so an object's
+//!    new location must be disjoint from its old one.
+//! 3. **The freed-space rule.** Space freed after the last checkpoint may
+//!    not be rewritten until the next checkpoint completes; otherwise a
+//!    crash could lose the only durable copy of an object.
+//!
+//! [`SimStore`] replays a reallocator's [`StorageOp`] stream while enforcing
+//! whichever of these rules the selected [`Mode`] demands, maintains the
+//! durable translation map, and can simulate a crash at any instant to
+//! verify that recovery from the last checkpoint finds every mapped object
+//! intact.
+//!
+//! [`StorageOp`]: realloc_common::StorageOp
+
+pub mod data;
+pub mod device;
+pub mod store;
+
+pub use data::{DataRecoveryReport, DataStore};
+pub use device::DeviceModel;
+pub use store::{Mode, RecoveryReport, SimStore, SpanState, Violation};

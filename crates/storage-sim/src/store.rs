@@ -1,0 +1,568 @@
+//! The simulated store: extent occupancy, checkpoint epochs, durable
+//! translation map, crash recovery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use realloc_common::{Extent, ObjectId, StorageOp};
+
+/// How strictly the substrate polices writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `memmove` semantics: a move may overlap its own old location, and
+    /// freed space is reusable immediately. Clobbering *other* objects is
+    /// still a violation. Matches the Section 2 (in-memory) setting.
+    Relaxed,
+    /// Full database rules: moves must be nonoverlapping, and space freed
+    /// after the last checkpoint may not be rewritten until the next one
+    /// (Section 3.1). Matches the checkpointed/deamortized algorithms.
+    Strict,
+}
+
+/// State of one span of the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanState {
+    /// Currently holds a live object.
+    Live(ObjectId),
+    /// Freed at `epoch`, still holding the last durable copy written by
+    /// `prior` (or just unreusable free space). Cleared by a checkpoint.
+    Ghost {
+        /// The object whose bytes still occupy the span.
+        prior: ObjectId,
+        /// Checkpoint epoch in which the span was freed.
+        epoch: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    len: u64,
+    state: SpanState,
+}
+
+/// A rule violation detected while replaying an op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Write target intersects a live object other than the one moving.
+    TargetOccupied {
+        /// The writing object.
+        id: ObjectId,
+        /// The attempted write location.
+        target: Extent,
+        /// The live object that would be clobbered.
+        hit: ObjectId,
+    },
+    /// Write target intersects space freed after the last checkpoint.
+    FreedSpaceRule {
+        /// The writing object.
+        id: ObjectId,
+        /// The attempted write location.
+        target: Extent,
+        /// Epoch in which the space was freed.
+        freed_epoch: u64,
+    },
+    /// A move's target overlaps its own source (strict mode only).
+    OverlappingMove {
+        /// The moving object.
+        id: ObjectId,
+        /// Its current location.
+        from: Extent,
+        /// The overlapping target.
+        to: Extent,
+    },
+    /// Move/free source does not match the object's actual placement.
+    SourceMismatch {
+        /// The object named by the op.
+        id: ObjectId,
+        /// The location the op claimed.
+        claimed: Extent,
+        /// Where the store actually has it (if live).
+        actual: Option<Extent>,
+    },
+    /// Allocate for an id that is already live.
+    DuplicateObject {
+        /// The reused id.
+        id: ObjectId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::TargetOccupied { id, target, hit } => {
+                write!(f, "{id}: write to {target} clobbers live {hit}")
+            }
+            Violation::FreedSpaceRule { id, target, freed_epoch } => write!(
+                f,
+                "{id}: write to {target} reuses space freed at epoch {freed_epoch} before a checkpoint"
+            ),
+            Violation::OverlappingMove { id, from, to } => {
+                write!(f, "{id}: move {from} -> {to} overlaps itself")
+            }
+            Violation::SourceMismatch { id, claimed, actual } => {
+                write!(f, "{id}: source {claimed} but object is at {actual:?}")
+            }
+            Violation::DuplicateObject { id } => write!(f, "{id}: allocated twice"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Outcome of a simulated crash + recovery.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Objects whose durable mapping still points at an intact copy.
+    pub recovered: Vec<ObjectId>,
+    /// Objects whose durable copy was destroyed — must stay empty if the
+    /// replayed algorithm respected the rules.
+    pub lost: Vec<ObjectId>,
+}
+
+impl RecoveryReport {
+    /// Whether every durably mapped object survived.
+    pub fn is_durable(&self) -> bool {
+        self.lost.is_empty()
+    }
+}
+
+/// The simulated storage device + block translation layer.
+///
+/// Spans (live objects and strict-mode ghosts) are kept in an offset-keyed
+/// map; because spans are pairwise disjoint, their `end`s increase with
+/// their offsets, so intersection queries need only inspect the predecessor
+/// of the query's end.
+#[derive(Debug, Clone)]
+pub struct SimStore {
+    mode: Mode,
+    spans: BTreeMap<u64, Span>,
+    live: HashMap<ObjectId, Extent>,
+    /// The durable name -> extent map as of the last checkpoint.
+    durable_btl: HashMap<ObjectId, Extent>,
+    epoch: u64,
+    checkpoints: u64,
+    peak_end: u64,
+    ops_applied: u64,
+}
+
+impl SimStore {
+    /// An empty store enforcing the given mode's rules.
+    pub fn new(mode: Mode) -> Self {
+        SimStore {
+            mode,
+            spans: BTreeMap::new(),
+            live: HashMap::new(),
+            durable_btl: HashMap::new(),
+            epoch: 0,
+            checkpoints: 0,
+            peak_end: 0,
+            ops_applied: 0,
+        }
+    }
+
+    /// The rule mode this store enforces.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Current checkpoint epoch (starts at 0, bumped by each checkpoint).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of checkpoints performed.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Ops replayed so far.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Live placement of `id`, if any.
+    pub fn extent_of(&self, id: ObjectId) -> Option<Extent> {
+        self.live.get(&id).copied()
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total volume of live objects.
+    pub fn live_volume(&self) -> u64 {
+        self.live.values().map(|e| e.len).sum()
+    }
+
+    /// One past the largest cell holding a live object.
+    pub fn footprint(&self) -> u64 {
+        self.live.values().map(|e| e.end()).max().unwrap_or(0)
+    }
+
+    /// One past the largest cell ever written (ghost copies included).
+    pub fn peak_physical_end(&self) -> u64 {
+        self.peak_end
+    }
+
+    /// First span intersecting `target`, if any.
+    fn intersecting_span(&self, target: &Extent) -> Option<(u64, Span)> {
+        // Spans are disjoint, so ends increase with offsets: the span with
+        // the largest offset below target.end() is the only candidate.
+        let (&off, span) = self.spans.range(..target.end()).next_back()?;
+        let ext = Extent::new(off, span.len);
+        if ext.end() > target.offset {
+            Some((off, *span))
+        } else {
+            None
+        }
+    }
+
+    /// Validates that `target` is writable for `id`; `ignore_self` lets a
+    /// relaxed-mode move overlap its own (already removed) source.
+    fn check_writable(&self, id: ObjectId, target: &Extent) -> Result<(), Violation> {
+        if let Some((off, span)) = self.intersecting_span(target) {
+            match span.state {
+                SpanState::Live(hit) => {
+                    return Err(Violation::TargetOccupied { id, target: *target, hit });
+                }
+                SpanState::Ghost { epoch, .. } => {
+                    // Only present in strict mode.
+                    debug_assert_eq!(self.mode, Mode::Strict);
+                    let _ = off;
+                    return Err(Violation::FreedSpaceRule {
+                        id,
+                        target: *target,
+                        freed_epoch: epoch,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_span(&mut self, at: Extent, state: SpanState) {
+        self.spans.insert(at.offset, Span { len: at.len, state });
+        self.peak_end = self.peak_end.max(at.end());
+    }
+
+    /// Replay one op against the store.
+    pub fn apply(&mut self, op: &StorageOp) -> Result<(), Violation> {
+        self.ops_applied += 1;
+        match *op {
+            StorageOp::Allocate { id, to } => {
+                if self.live.contains_key(&id) {
+                    return Err(Violation::DuplicateObject { id });
+                }
+                self.check_writable(id, &to)?;
+                self.insert_span(to, SpanState::Live(id));
+                self.live.insert(id, to);
+                Ok(())
+            }
+            StorageOp::Move { id, from, to } => {
+                let actual = self.live.get(&id).copied();
+                if actual != Some(from) {
+                    return Err(Violation::SourceMismatch { id, claimed: from, actual });
+                }
+                if self.mode == Mode::Strict && from.overlaps(&to) {
+                    return Err(Violation::OverlappingMove { id, from, to });
+                }
+                // Remove the source span first so a relaxed-mode
+                // self-overlapping move does not trip the occupancy check.
+                let removed = self.spans.remove(&from.offset);
+                debug_assert!(matches!(removed, Some(Span { state: SpanState::Live(i), .. }) if i == id));
+                if let Err(v) = self.check_writable(id, &to) {
+                    // Restore state before reporting, so callers can inspect.
+                    self.insert_span(from, SpanState::Live(id));
+                    return Err(v);
+                }
+                if self.mode == Mode::Strict {
+                    // The old copy must survive until the next checkpoint.
+                    self.insert_span(from, SpanState::Ghost { prior: id, epoch: self.epoch });
+                }
+                self.insert_span(to, SpanState::Live(id));
+                self.live.insert(id, to);
+                Ok(())
+            }
+            StorageOp::Free { id, at } => {
+                let actual = self.live.get(&id).copied();
+                if actual != Some(at) {
+                    return Err(Violation::SourceMismatch { id, claimed: at, actual });
+                }
+                self.spans.remove(&at.offset);
+                if self.mode == Mode::Strict {
+                    self.insert_span(at, SpanState::Ghost { prior: id, epoch: self.epoch });
+                }
+                self.live.remove(&id);
+                Ok(())
+            }
+            StorageOp::CheckpointBarrier => {
+                self.checkpoint();
+                Ok(())
+            }
+        }
+    }
+
+    /// Replay a whole op stream, stopping at the first violation.
+    pub fn apply_all(&mut self, ops: &[StorageOp]) -> Result<(), Violation> {
+        ops.iter().try_for_each(|op| self.apply(op))
+    }
+
+    /// Perform a checkpoint: the translation map becomes durable and all
+    /// ghost spans become ordinary reusable free space.
+    pub fn checkpoint(&mut self) {
+        self.durable_btl = self.live.clone();
+        self.spans.retain(|_, s| matches!(s.state, SpanState::Live(_)));
+        self.epoch += 1;
+        self.checkpoints += 1;
+    }
+
+    /// The durable translation map (as of the last checkpoint).
+    pub fn durable_btl(&self) -> &HashMap<ObjectId, Extent> {
+        &self.durable_btl
+    }
+
+    /// Simulate a crash right now and recover from the last checkpoint.
+    ///
+    /// Every object in the durable map must still have an intact copy at
+    /// its mapped extent: either it never moved (still live there) or the
+    /// extent is a ghost preserved by the freed-space rule. If the replayed
+    /// algorithm broke the rules, objects land in `lost`.
+    pub fn crash_and_recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        for (&id, &ext) in &self.durable_btl {
+            let intact = match self.spans.get(&ext.offset) {
+                Some(span) if span.len == ext.len => match span.state {
+                    SpanState::Live(cur) => cur == id,
+                    SpanState::Ghost { prior, .. } => prior == id,
+                },
+                _ => false,
+            };
+            if intact {
+                report.recovered.push(id);
+            } else {
+                report.lost.push(id);
+            }
+        }
+        report.recovered.sort_unstable();
+        report.lost.sort_unstable();
+        report
+    }
+
+    /// Cross-checks the store's live placements against a reallocator's
+    /// view; returns a description of the first divergence.
+    pub fn verify_matches(
+        &self,
+        extent_of: impl Fn(ObjectId) -> Option<Extent>,
+    ) -> Result<(), String> {
+        for (&id, &ext) in &self.live {
+            match extent_of(id) {
+                Some(e) if e == ext => {}
+                other => {
+                    return Err(format!("{id}: store has {ext}, reallocator has {other:?}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All live spans in address order (for rendering and tests).
+    pub fn live_spans(&self) -> Vec<(Extent, ObjectId)> {
+        self.spans
+            .iter()
+            .filter_map(|(&off, span)| match span.state {
+                SpanState::Live(id) => Some((Extent::new(off, span.len), id)),
+                SpanState::Ghost { .. } => None,
+            })
+            .collect()
+    }
+
+    /// All ghost spans in address order.
+    pub fn ghost_spans(&self) -> Vec<(Extent, ObjectId, u64)> {
+        self.spans
+            .iter()
+            .filter_map(|(&off, span)| match span.state {
+                SpanState::Ghost { prior, epoch } => {
+                    Some((Extent::new(off, span.len), prior, epoch))
+                }
+                SpanState::Live(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(o: u64, l: u64) -> Extent {
+        Extent::new(o, l)
+    }
+    fn id(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    fn alloc(n: u64, o: u64, l: u64) -> StorageOp {
+        StorageOp::Allocate { id: id(n), to: ext(o, l) }
+    }
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.apply(&alloc(2, 10, 5)).unwrap();
+        assert_eq!(s.extent_of(id(1)), Some(ext(0, 10)));
+        assert_eq!(s.live_volume(), 15);
+        assert_eq!(s.footprint(), 15);
+    }
+
+    #[test]
+    fn double_allocate_rejected() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        assert_eq!(
+            s.apply(&alloc(1, 20, 10)),
+            Err(Violation::DuplicateObject { id: id(1) })
+        );
+    }
+
+    #[test]
+    fn clobbering_live_object_rejected_in_both_modes() {
+        for mode in [Mode::Relaxed, Mode::Strict] {
+            let mut s = SimStore::new(mode);
+            s.apply(&alloc(1, 0, 10)).unwrap();
+            let err = s.apply(&alloc(2, 5, 10)).unwrap_err();
+            assert!(matches!(err, Violation::TargetOccupied { hit, .. } if hit == id(1)));
+        }
+    }
+
+    #[test]
+    fn self_overlapping_move_allowed_relaxed_rejected_strict() {
+        let mv = StorageOp::Move { id: id(1), from: ext(10, 10), to: ext(5, 10) };
+
+        let mut relaxed = SimStore::new(Mode::Relaxed);
+        relaxed.apply(&alloc(1, 10, 10)).unwrap();
+        relaxed.apply(&mv).unwrap();
+        assert_eq!(relaxed.extent_of(id(1)), Some(ext(5, 10)));
+
+        let mut strict = SimStore::new(Mode::Strict);
+        strict.apply(&alloc(1, 10, 10)).unwrap();
+        let err = strict.apply(&mv).unwrap_err();
+        assert!(matches!(err, Violation::OverlappingMove { .. }));
+        // State unchanged after the rejected move.
+        assert_eq!(strict.extent_of(id(1)), Some(ext(10, 10)));
+    }
+
+    #[test]
+    fn freed_space_rule_enforced_until_checkpoint() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.apply(&StorageOp::Free { id: id(1), at: ext(0, 10) }).unwrap();
+        // Reuse before checkpoint: violation.
+        let err = s.apply(&alloc(2, 0, 10)).unwrap_err();
+        assert!(matches!(err, Violation::FreedSpaceRule { .. }));
+        // After a checkpoint the space is reusable.
+        s.apply(&StorageOp::CheckpointBarrier).unwrap();
+        s.apply(&alloc(2, 0, 10)).unwrap();
+        assert_eq!(s.extent_of(id(2)), Some(ext(0, 10)));
+    }
+
+    #[test]
+    fn relaxed_mode_reuses_freed_space_immediately() {
+        let mut s = SimStore::new(Mode::Relaxed);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.apply(&StorageOp::Free { id: id(1), at: ext(0, 10) }).unwrap();
+        s.apply(&alloc(2, 0, 10)).unwrap();
+    }
+
+    #[test]
+    fn moved_objects_old_copy_protected_until_checkpoint() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.apply(&StorageOp::CheckpointBarrier).unwrap();
+        // Durable map now points at [0,10).
+        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
+        // Old location may not be reused yet...
+        let err = s.apply(&alloc(2, 0, 10)).unwrap_err();
+        assert!(matches!(err, Violation::FreedSpaceRule { .. }));
+        // ...and a crash now still recovers object 1 from the old copy.
+        let report = s.crash_and_recover();
+        assert_eq!(report.recovered, vec![id(1)]);
+        assert!(report.is_durable());
+    }
+
+    #[test]
+    fn recovery_detects_loss_if_rules_bypassed() {
+        // Build a store, move an object, then forcibly clobber the ghost by
+        // checkpoint-skipping via relaxed mode to simulate a buggy engine.
+        let mut s = SimStore::new(Mode::Relaxed);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.checkpoint(); // durable: 1 -> [0,10)
+        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
+        // Relaxed mode lets object 2 take the old space immediately.
+        s.apply(&alloc(2, 0, 10)).unwrap();
+        let report = s.crash_and_recover();
+        assert_eq!(report.lost, vec![id(1)]);
+        assert!(!report.is_durable());
+    }
+
+    #[test]
+    fn source_mismatch_detected() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        let err = s
+            .apply(&StorageOp::Move { id: id(1), from: ext(2, 10), to: ext(30, 10) })
+            .unwrap_err();
+        assert!(matches!(err, Violation::SourceMismatch { .. }));
+        let err =
+            s.apply(&StorageOp::Free { id: id(2), at: ext(0, 10) }).unwrap_err();
+        assert!(matches!(err, Violation::SourceMismatch { .. }));
+    }
+
+    #[test]
+    fn chained_moves_without_checkpoint_recover_from_oldest_copy() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.checkpoint();
+        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
+        s.apply(&StorageOp::Move { id: id(1), from: ext(20, 10), to: ext(40, 10) }).unwrap();
+        // Durable map points at [0,10), which is still a ghost of object 1.
+        assert!(s.crash_and_recover().is_durable());
+        assert_eq!(s.ghost_spans().len(), 2);
+        s.checkpoint();
+        assert!(s.ghost_spans().is_empty());
+        assert_eq!(s.durable_btl()[&id(1)], ext(40, 10));
+    }
+
+    #[test]
+    fn footprint_and_peak_track_live_and_ghost_space() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(90, 10) }).unwrap();
+        assert_eq!(s.footprint(), 100);
+        assert_eq!(s.peak_physical_end(), 100);
+        s.apply(&StorageOp::CheckpointBarrier).unwrap();
+        s.apply(&StorageOp::Move { id: id(1), from: ext(90, 10), to: ext(0, 10) }).unwrap();
+        assert_eq!(s.footprint(), 10);
+        assert_eq!(s.peak_physical_end(), 100, "high-water mark is sticky");
+    }
+
+    #[test]
+    fn verify_matches_reports_divergence() {
+        let mut s = SimStore::new(Mode::Strict);
+        s.apply(&alloc(1, 0, 10)).unwrap();
+        assert!(s.verify_matches(|oid| (oid == id(1)).then(|| ext(0, 10))).is_ok());
+        assert!(s.verify_matches(|_| None).is_err());
+        assert!(s.verify_matches(|_| Some(ext(1, 10))).is_err());
+    }
+
+    #[test]
+    fn live_spans_sorted_by_address() {
+        let mut s = SimStore::new(Mode::Relaxed);
+        s.apply(&alloc(1, 50, 10)).unwrap();
+        s.apply(&alloc(2, 0, 10)).unwrap();
+        s.apply(&alloc(3, 20, 10)).unwrap();
+        let spans = s.live_spans();
+        let offsets: Vec<u64> = spans.iter().map(|(e, _)| e.offset).collect();
+        assert_eq!(offsets, vec![0, 20, 50]);
+    }
+}

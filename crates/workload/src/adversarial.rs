@@ -1,0 +1,205 @@
+//! The paper's hand-crafted adversarial sequences.
+
+use crate::{IdSource, Request, Workload};
+
+/// The Lemma 3.7 lower-bound sequence: one size-`delta` insert, `delta`
+/// size-1 inserts, then delete the large object.
+///
+/// Against *any* reallocator maintaining a `(3/2)V` footprint, at least one
+/// of these updates must incur reallocation cost `Ω(f(∆))` for every
+/// subadditive `f` — either a small insert displaced the large object
+/// (cost `f(∆)`), or the final delete forces `Ω(∆)` small objects to move
+/// (cost `Ω(∆·f(1)) ⊇ Ω(f(∆))` by subadditivity).
+pub fn lemma_3_7(delta: u64) -> Workload {
+    assert!(delta >= 2);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::with_capacity(delta as usize + 2);
+    let big = ids.fresh();
+    requests.push(Request::Insert { id: big, size: delta });
+    for _ in 0..delta {
+        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+    }
+    requests.push(Request::Delete { id: big });
+    Workload::new(format!("lemma3.7(∆={delta})"), requests)
+}
+
+/// The logging-and-compacting killer from the Section 2 intuition: "the
+/// deleted objects have size ∆, and the reallocated elements have size 1".
+///
+/// Each round inserts a size-`delta` object *followed by* `delta` size-1
+/// objects, so every large object sits below a batch of small survivors.
+/// Deleting the large objects then punches holes that only a compaction
+/// dragging the small objects can reclaim: under `f(w) = 1` the amortized
+/// cost per delete is `Θ(∆)`. The paper's cost-oblivious algorithm keeps
+/// the small objects in their own size-class region and never pays this.
+pub fn compaction_killer(delta: u64, rounds: usize) -> Workload {
+    assert!(delta >= 2 && rounds >= 1);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    let mut bigs = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let big = ids.fresh();
+        requests.push(Request::Insert { id: big, size: delta });
+        bigs.push(big);
+        for _ in 0..delta {
+            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        }
+    }
+    for big in bigs {
+        requests.push(Request::Delete { id: big });
+    }
+    Workload::new(format!("compaction-killer(∆={delta}, {rounds} rounds)"), requests)
+}
+
+/// The cascade trigger for the size-class-gaps strategy (Bender et al. 2009
+/// sketch): one object in every size class up to `delta`, then a stream of
+/// size-1 inserts, each of which can displace one object per class all the
+/// way up — `Θ(∆)` volume, i.e. `Θ(log ∆)` competitive under `f(w) = w`
+/// when amortized per unit inserted.
+pub fn cascade_trigger(delta: u64, small_inserts: usize) -> Workload {
+    assert!(delta.is_power_of_two() && delta >= 2);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    let classes = delta.trailing_zeros() + 1;
+    // Seed one object per class, largest first so the layout is "tight".
+    for k in (0..classes).rev() {
+        requests.push(Request::Insert { id: ids.fresh(), size: 1u64 << k });
+    }
+    for _ in 0..small_inserts {
+        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+    }
+    Workload::new(format!("cascade(∆={delta}, {small_inserts} unit inserts)"), requests)
+}
+
+/// Fragmentation adversary for no-move allocators (Robson / Luby-style).
+///
+/// At level `l` (sizes doubling from 8), insert alternating pairs of a
+/// size-`2^l` *filler* and a size-1 *blocker*, then delete all the fillers.
+/// The blockers — a vanishing fraction of the volume — keep the holes from
+/// coalescing, so the next level's doubled objects fit none of them and
+/// claim fresh space. A no-move allocator's footprint grows by
+/// `Θ(level_volume)` per level while the live volume stays
+/// `O(level_volume)`: the `Ω(log ∆)` footprint lower bound that motivates
+/// reallocation. A reallocator simply compacts the blockers.
+pub fn nomove_fragmenter(levels: u32, level_volume: u64) -> Workload {
+    assert!((1..40).contains(&levels));
+    const MIN_L: u32 = 3; // start at size 8 so blockers stay a small fraction
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    // Level l's fillers are deleted only after level l+1 is fully placed:
+    // when a level is being laid out no holes big enough for its blockers
+    // exist adjacent to it, so its filler/blocker interleaving survives on
+    // fresh space and the later holes stay pinned.
+    let mut prev_fillers: Vec<realloc_common::ObjectId> = Vec::new();
+    for l in MIN_L..MIN_L + levels {
+        let size = 1u64 << l;
+        let count = (level_volume / size).max(1);
+        let mut fillers = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let filler = ids.fresh();
+            requests.push(Request::Insert { id: filler, size });
+            fillers.push(filler);
+            // The blocker stays alive forever, pinning the hole boundaries.
+            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        }
+        for filler in prev_fillers.drain(..) {
+            requests.push(Request::Delete { id: filler });
+        }
+        prev_fillers = fillers;
+    }
+    for filler in prev_fillers {
+        requests.push(Request::Delete { id: filler });
+    }
+    Workload::new(format!("fragmenter({levels} levels, {level_volume}/level)"), requests)
+}
+
+/// Worst-case burst for the deamortized structure: alternating tiny and
+/// `delta`-sized updates at a full tail buffer, maximizing the per-update
+/// pumped volume `(4/ε')w + ∆`.
+pub fn deamortized_burst(delta: u64, rounds: usize) -> Workload {
+    assert!(delta >= 2);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    // Standing volume so flushes have real work to spread out.
+    for _ in 0..delta {
+        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+    }
+    for _ in 0..4 {
+        requests.push(Request::Insert { id: ids.fresh(), size: delta });
+    }
+    let mut last_big = None;
+    for r in 0..rounds {
+        if r % 2 == 0 {
+            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+            let id = ids.fresh();
+            requests.push(Request::Insert { id, size: delta });
+            last_big = Some(id);
+        } else if let Some(id) = last_big.take() {
+            requests.push(Request::Delete { id });
+            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        }
+    }
+    Workload::new(format!("deamortized-burst(∆={delta})"), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_3_7_shape() {
+        let w = lemma_3_7(16);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        assert_eq!(stats.inserts, 17);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.delta, 16);
+        assert_eq!(stats.final_volume, 16);
+        // Ends with the delete of the large object.
+        assert!(matches!(w.requests.last(), Some(Request::Delete { .. })));
+    }
+
+    #[test]
+    fn compaction_killer_shape() {
+        let w = compaction_killer(64, 8);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        // The small population (8 rounds × 64 unit objects) survives.
+        assert_eq!(stats.final_volume, 8 * 64);
+        assert_eq!(stats.delta, 64);
+        assert_eq!(stats.deletes, 8);
+        // Interleaved: the first request is a large insert, the second small.
+        assert!(matches!(w.requests[0], Request::Insert { size: 64, .. }));
+        assert!(matches!(w.requests[1], Request::Insert { size: 1, .. }));
+    }
+
+    #[test]
+    fn cascade_trigger_seeds_every_class() {
+        let w = cascade_trigger(64, 10);
+        assert!(w.validate().is_ok());
+        // Classes 0..=6 seeded (sizes 64, 32, ..., 1), then 10 unit inserts.
+        assert_eq!(w.stats().inserts, 7 + 10);
+        assert_eq!(w.stats().delta, 64);
+    }
+
+    #[test]
+    fn fragmenter_is_wellformed_and_bounded() {
+        let w = nomove_fragmenter(6, 1 << 10);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        // Live volume stays O(level_volume): two adjacent levels' fillers
+        // (deletion is deferred by one level) plus the geometric blocker
+        // tail.
+        assert!(stats.peak_volume <= 3 * (1 << 10), "peak {}", stats.peak_volume);
+        // Final survivors are blockers only.
+        assert!(stats.final_volume < (1 << 10) / 2, "final {}", stats.final_volume);
+        assert_eq!(stats.delta, 1 << 8);
+    }
+
+    #[test]
+    fn deamortized_burst_wellformed() {
+        let w = deamortized_burst(32, 200);
+        assert!(w.validate().is_ok());
+        assert_eq!(w.stats().delta, 32);
+    }
+}

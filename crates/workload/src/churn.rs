@@ -1,0 +1,129 @@
+//! Steady-state churn workloads: grow to a target volume, then hold it
+//! there with a randomized insert/delete mix.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realloc_common::ObjectId;
+
+use crate::dist::SizeDist;
+use crate::{IdSource, Request, Workload};
+
+/// Parameters for [`churn`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Object size distribution.
+    pub dist: SizeDist,
+    /// Volume the warm-up phase grows to (and churn hovers around).
+    pub target_volume: u64,
+    /// Number of requests issued after warm-up.
+    pub churn_ops: usize,
+    /// RNG seed (workloads are deterministic per seed).
+    pub seed: u64,
+}
+
+/// Generates a churn workload: inserts until `target_volume` is reached,
+/// then issues `churn_ops` requests that insert when below target and
+/// delete a uniformly random live object when at/above it.
+pub fn churn(config: &ChurnConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    let mut live: Vec<(ObjectId, u64)> = Vec::new();
+    let mut volume = 0u64;
+
+    let insert = |rng: &mut StdRng,
+                      requests: &mut Vec<Request>,
+                      live: &mut Vec<(ObjectId, u64)>,
+                      volume: &mut u64,
+                      ids: &mut IdSource| {
+        let size = config.dist.sample(rng);
+        let id = ids.fresh();
+        requests.push(Request::Insert { id, size });
+        live.push((id, size));
+        *volume += size;
+    };
+
+    while volume < config.target_volume {
+        insert(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+    }
+
+    for _ in 0..config.churn_ops {
+        if volume >= config.target_volume && !live.is_empty() {
+            let idx = rng.random_range(0..live.len());
+            let (id, size) = live.swap_remove(idx);
+            requests.push(Request::Delete { id });
+            volume -= size;
+        } else {
+            insert(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+        }
+    }
+
+    Workload::new(
+        format!(
+            "churn({}, V≈{}, {} ops, seed {})",
+            config.dist.label(),
+            config.target_volume,
+            config.churn_ops,
+            config.seed
+        ),
+        requests,
+    )
+}
+
+/// A pure growth workload: `count` inserts, no deletes.
+pub fn grow_only(dist: &SizeDist, count: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdSource::new();
+    let requests = (0..count)
+        .map(|_| Request::Insert { id: ids.fresh(), size: dist.sample(&mut rng) })
+        .collect();
+    Workload::new(format!("grow({}, {count} inserts)", dist.label()), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            dist: SizeDist::Uniform { lo: 1, hi: 64 },
+            target_volume: 4_000,
+            churn_ops: 2_000,
+            seed,
+        }
+    }
+
+    #[test]
+    fn churn_is_wellformed() {
+        let w = churn(&cfg(1));
+        assert!(w.validate().is_ok());
+        assert!(w.len() > 2_000);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        assert_eq!(churn(&cfg(7)).requests, churn(&cfg(7)).requests);
+        assert_ne!(churn(&cfg(7)).requests, churn(&cfg(8)).requests);
+    }
+
+    #[test]
+    fn churn_hovers_near_target() {
+        let w = churn(&cfg(3));
+        let stats = w.stats();
+        assert!(stats.peak_volume >= 4_000);
+        // Volume can exceed target only by one object (< 64 cells) at a time,
+        // and deletes pull it back under; the peak stays close to target.
+        assert!(stats.peak_volume < 4_200, "peak {}", stats.peak_volume);
+        assert!(stats.final_volume > 3_000);
+    }
+
+    #[test]
+    fn grow_only_has_no_deletes() {
+        let w = grow_only(&SizeDist::Fixed(8), 100, 5);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        assert_eq!(stats.inserts, 100);
+        assert_eq!(stats.deletes, 0);
+        assert_eq!(stats.final_volume, 800);
+    }
+}

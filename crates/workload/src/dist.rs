@@ -1,0 +1,190 @@
+//! Object-size distributions for synthetic workloads.
+
+use rand::Rng;
+
+/// A distribution over positive object sizes.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Every object has the same size.
+    Fixed(u64),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Smallest size (positive).
+        lo: u64,
+        /// Largest size (inclusive).
+        hi: u64,
+    },
+    /// Size class `k` (sizes `2^k..2^{k+1}`) is chosen with probability
+    /// proportional to `decay^k`, `0 < decay <= 1`, for `k` in
+    /// `[0, classes)`; the size is uniform within the class. `decay = 1`
+    /// gives the log-uniform distribution; small `decay` skews small.
+    ClassPowerLaw {
+        /// Number of size classes (sizes up to `2^classes - 1`).
+        classes: u32,
+        /// Per-class weight decay in `(0, 1]`.
+        decay: f64,
+    },
+    /// Database-flavoured bimodal mix: probability `large_prob` of a
+    /// "blob" uniform in `[large_lo, large_hi]`, otherwise a "page" uniform
+    /// in `[small_lo, small_hi]`.
+    Bimodal {
+        /// Smallest page size.
+        small_lo: u64,
+        /// Largest page size.
+        small_hi: u64,
+        /// Smallest blob size.
+        large_lo: u64,
+        /// Largest blob size.
+        large_hi: u64,
+        /// Probability of drawing a blob.
+        large_prob: f64,
+    },
+}
+
+impl SizeDist {
+    /// Sample one size.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        match *self {
+            SizeDist::Fixed(s) => {
+                assert!(s > 0);
+                s
+            }
+            SizeDist::Uniform { lo, hi } => {
+                assert!(0 < lo && lo <= hi);
+                rng.random_range(lo..=hi)
+            }
+            SizeDist::ClassPowerLaw { classes, decay } => {
+                assert!(classes > 0 && classes < 63);
+                assert!(decay > 0.0 && decay <= 1.0);
+                // Inverse-CDF over the finite class weights.
+                let total: f64 = (0..classes).map(|k| decay.powi(k as i32)).sum();
+                let mut u = rng.random_range(0.0..total);
+                let mut class = classes - 1;
+                for k in 0..classes {
+                    let wk = decay.powi(k as i32);
+                    if u < wk {
+                        class = k;
+                        break;
+                    }
+                    u -= wk;
+                }
+                let lo = 1u64 << class;
+                let hi = (1u64 << (class + 1)) - 1;
+                rng.random_range(lo..=hi)
+            }
+            SizeDist::Bimodal { small_lo, small_hi, large_lo, large_hi, large_prob } => {
+                assert!(0 < small_lo && small_lo <= small_hi);
+                assert!(small_hi <= large_lo && large_lo <= large_hi);
+                assert!((0.0..=1.0).contains(&large_prob));
+                if rng.random_bool(large_prob) {
+                    rng.random_range(large_lo..=large_hi)
+                } else {
+                    rng.random_range(small_lo..=small_hi)
+                }
+            }
+        }
+    }
+
+    /// The largest size this distribution can produce.
+    pub fn max_size(&self) -> u64 {
+        match *self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform { hi, .. } => hi,
+            SizeDist::ClassPowerLaw { classes, .. } => (1u64 << classes) - 1,
+            SizeDist::Bimodal { large_hi, .. } => large_hi,
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn label(&self) -> String {
+        match *self {
+            SizeDist::Fixed(s) => format!("fixed({s})"),
+            SizeDist::Uniform { lo, hi } => format!("uniform[{lo},{hi}]"),
+            SizeDist::ClassPowerLaw { classes, decay } => {
+                format!("powlaw(c={classes},d={decay})")
+            }
+            SizeDist::Bimodal { large_prob, .. } => format!("bimodal(p={large_prob})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_always_same() {
+        let d = SizeDist::Fixed(7);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let d = SizeDist::Uniform { lo: 3, hi: 9 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((3..=9).contains(&s));
+        }
+        assert_eq!(d.max_size(), 9);
+    }
+
+    #[test]
+    fn power_law_skews_small() {
+        let d = SizeDist::ClassPowerLaw { classes: 8, decay: 0.5 };
+        let mut r = rng();
+        let n = 20_000;
+        let small = (0..n).filter(|_| d.sample(&mut r) < 2).count();
+        // Class 0 (size 1) has weight 1 of total ~1.99 → ~50%.
+        assert!(small > n * 2 / 5, "expected heavy small skew, got {small}/{n}");
+        assert_eq!(d.max_size(), 255);
+    }
+
+    #[test]
+    fn power_law_respects_class_cap() {
+        let d = SizeDist::ClassPowerLaw { classes: 4, decay: 1.0 };
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(d.sample(&mut r) <= 15);
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let d = SizeDist::Bimodal {
+            small_lo: 1,
+            small_hi: 4,
+            large_lo: 100,
+            large_hi: 200,
+            large_prob: 0.3,
+        };
+        let mut r = rng();
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..5000 {
+            let s = d.sample(&mut r);
+            if s <= 4 {
+                small += 1;
+            } else {
+                assert!((100..=200).contains(&s));
+                large += 1;
+            }
+        }
+        assert!(small > 2000 && large > 500);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SizeDist::Fixed(4).label(), "fixed(4)");
+        assert_eq!(SizeDist::Uniform { lo: 1, hi: 2 }.label(), "uniform[1,2]");
+    }
+}

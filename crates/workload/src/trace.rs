@@ -1,0 +1,109 @@
+//! Database-shaped traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realloc_common::ObjectId;
+
+use crate::dist::SizeDist;
+use crate::{IdSource, Request, Workload};
+
+/// A TokuDB-style block-rewrite trace.
+///
+/// The motivating database accesses storage through a block translation
+/// layer; rewriting a block writes a new version (a fresh insert, possibly
+/// of a different size) and frees the old one. This generator maintains
+/// `blocks` logical blocks and rewrites a uniformly random one per step,
+/// with the new size drawn from `dist`.
+pub fn block_rewrites(blocks: usize, rewrites: usize, dist: &SizeDist, seed: u64) -> Workload {
+    assert!(blocks > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::with_capacity(blocks + 2 * rewrites);
+    let mut current: Vec<ObjectId> = (0..blocks)
+        .map(|_| {
+            let id = ids.fresh();
+            requests.push(Request::Insert { id, size: dist.sample(&mut rng) });
+            id
+        })
+        .collect();
+    for _ in 0..rewrites {
+        let slot = rng.random_range(0..blocks);
+        // New version is written before the old is freed, mirroring
+        // copy-on-write database engines.
+        let new = ids.fresh();
+        requests.push(Request::Insert { id: new, size: dist.sample(&mut rng) });
+        requests.push(Request::Delete { id: current[slot] });
+        current[slot] = new;
+    }
+    Workload::new(format!("block-rewrites({blocks} blocks, {rewrites} rewrites)"), requests)
+}
+
+/// A sawtooth capacity cycle: grow by inserts to `high` volume, shrink by
+/// random deletes to `low`, `cycles` times. Exercises footprint shrinking,
+/// the regime no-move allocators handle worst.
+pub fn sawtooth(low: u64, high: u64, cycles: usize, dist: &SizeDist, seed: u64) -> Workload {
+    assert!(low < high);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    let mut live: Vec<(ObjectId, u64)> = Vec::new();
+    let mut volume = 0u64;
+    for _ in 0..cycles {
+        while volume < high {
+            let size = dist.sample(&mut rng);
+            let id = ids.fresh();
+            requests.push(Request::Insert { id, size });
+            live.push((id, size));
+            volume += size;
+        }
+        while volume > low && !live.is_empty() {
+            let idx = rng.random_range(0..live.len());
+            let (id, size) = live.swap_remove(idx);
+            requests.push(Request::Delete { id });
+            volume -= size;
+        }
+    }
+    Workload::new(format!("sawtooth({low}..{high} ×{cycles})"), requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_rewrites_keep_block_count() {
+        let dist = SizeDist::Uniform { lo: 8, hi: 32 };
+        let w = block_rewrites(100, 500, &dist, 9);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        assert_eq!(stats.inserts - stats.deletes, 100);
+    }
+
+    #[test]
+    fn block_rewrites_overlap_old_and_new_version() {
+        // Copy-on-write ordering: insert of version n+1 precedes delete of n,
+        // so peak volume exceeds steady-state volume.
+        let dist = SizeDist::Fixed(10);
+        let w = block_rewrites(10, 50, &dist, 1);
+        assert_eq!(w.stats().peak_volume, 110);
+    }
+
+    #[test]
+    fn sawtooth_reaches_both_extremes() {
+        let dist = SizeDist::Fixed(16);
+        let w = sawtooth(200, 2_000, 3, &dist, 4);
+        assert!(w.validate().is_ok());
+        let stats = w.stats();
+        assert!(stats.peak_volume >= 2_000);
+        assert!(stats.final_volume <= 200 + 16);
+    }
+
+    #[test]
+    fn traces_deterministic_per_seed() {
+        let dist = SizeDist::Uniform { lo: 1, hi: 9 };
+        assert_eq!(
+            block_rewrites(20, 100, &dist, 5).requests,
+            block_rewrites(20, 100, &dist, 5).requests
+        );
+    }
+}

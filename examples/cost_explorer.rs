@@ -1,0 +1,71 @@
+//! Cost-obliviousness, demonstrated: one run, one move log, priced after
+//! the fact on seven different storage media — and the competitive ratio
+//! holds on all of them at once. Also shows the deliberate counterexample:
+//! a *superadditive* cost function (outside the paper's class `Fsa`) for
+//! which no guarantee is claimed.
+//!
+//! ```sh
+//! cargo run --release --example cost_explorer
+//! ```
+
+use storage_realloc::cost::{check_membership, CostFn, Superlinear};
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::churn::{churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+
+fn main() {
+    let eps = 0.25;
+    let workload = churn(&ChurnConfig {
+        dist: SizeDist::ClassPowerLaw { classes: 11, decay: 0.75 },
+        target_volume: 100_000,
+        churn_ops: 50_000,
+        seed: 1,
+    });
+    println!("workload: {} ({} requests)", workload.name, workload.len());
+
+    let mut r = CostObliviousReallocator::new(eps);
+    let result = run_workload(&mut r, &workload, RunConfig::plain()).unwrap();
+    let eps_prime: f64 = r.eps().prime();
+    let theory = (1.0 / eps_prime) * (1.0 / eps_prime).ln();
+
+    println!("\nthe algorithm made every decision without a cost function.");
+    println!("now price its {} moves under each medium:\n", result.ledger.total_moves());
+    println!(
+        "{:>12}  {:>10}  {:>14}  {:>8}  membership",
+        "medium", "b(f)", "b(f)/theory", "in Fsa"
+    );
+    for f in storage_realloc::cost::standard_suite() {
+        let b = result.ledger.cost_ratio(&|w| f.cost(w));
+        let member = check_membership(f.as_ref(), 1 << 16, 2048, 8).is_member();
+        println!(
+            "{:>12}  {:>10.2}  {:>14.3}  {:>8}  {}",
+            f.name(),
+            b,
+            b / theory,
+            f.in_fsa(),
+            if member { "verified" } else { "VIOLATED" }
+        );
+    }
+
+    // The counterexample: f(w) = w² is superadditive. The paper's guarantee
+    // explicitly does not cover it, and the ratio shows why the class
+    // restriction matters: big objects dominate both sides, so the ratio is
+    // workload-dependent with no universal bound.
+    let quad = Superlinear;
+    let b = result.ledger.cost_ratio(&|w| quad.cost(w));
+    let report = check_membership(&quad, 1 << 10, 128, 8);
+    println!(
+        "\n{:>12}  {:>10.2}  {:>14}  {:>8}  subadditivity fails at {:?}",
+        quad.name(),
+        b,
+        "-",
+        quad.in_fsa(),
+        report.subadditivity_violation.unwrap()
+    );
+
+    println!(
+        "\ntheory line (1/ε')ln(1/ε') = {theory:.1}; every subadditive medium's ratio\n\
+         sits within a small constant of it — that is Theorem 2.1's promise, and\n\
+         it required zero knowledge of the medium at run time."
+    );
+}

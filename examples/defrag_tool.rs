@@ -1,0 +1,71 @@
+//! A defragmentation tool built on Theorem 2.7: sort a fragmented volume's
+//! objects by any key using only `(1+ε)V + ∆` working space — the naive
+//! approach needs `2V`.
+//!
+//! ```sh
+//! cargo run --release --example defrag_tool
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use storage_realloc::prelude::*;
+
+fn main() {
+    // A fragmented "volume": 5,000 objects with holes between them, as left
+    // behind by months of churn.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut objects: Vec<(ObjectId, Extent)> = Vec::new();
+    let mut at = 0u64;
+    for i in 0..5_000u64 {
+        let size = rng.random_range(1..=512);
+        objects.push((ObjectId(i), Extent::new(at, size)));
+        at += size + rng.random_range(0..=100); // a hole after each object
+    }
+    let volume: u64 = objects.iter().map(|(_, e)| e.len).sum();
+    let used: u64 = objects.iter().map(|(_, e)| e.end()).max().unwrap();
+    let delta: u64 = objects.iter().map(|(_, e)| e.len).max().unwrap();
+
+    println!("before: {} objects, volume {volume} cells spread over {used} cells", objects.len());
+    println!("        utilization {:.1}%", 100.0 * volume as f64 / used as f64);
+
+    // Sort by object size, then id (any comparison function works —
+    // access-frequency, table id, timestamp...).
+    let sizes: std::collections::HashMap<ObjectId, u64> =
+        objects.iter().map(|&(id, e)| (id, e.len)).collect();
+    let eps = 0.25;
+    let report = defragment(&objects, eps, |a, b| sizes[&a].cmp(&sizes[&b]).then(a.0.cmp(&b.0)))
+        .expect("valid input");
+
+    println!("\nafter:  objects sorted by size, packed into [{}, {})", report.budget - volume, report.budget);
+    println!("        peak working space {} cells", report.peak_space);
+    println!("        theorem bound (1+ε)V + ∆ = {} cells", report.budget + delta);
+    println!("        naive defrag would need 2V = {} cells", 2 * volume);
+    println!(
+        "        moves: {} total, {:.1} avg / {} max per object",
+        report.total_moves,
+        report.avg_moves_per_object(),
+        report.max_moves_per_object
+    );
+
+    // Replay the schedule on a simulated store to prove it is executable.
+    let mut store = SimStore::new(Mode::Relaxed);
+    for &(id, e) in &objects {
+        store
+            .apply(&StorageOp::Allocate { id, to: e })
+            .expect("seed initial allocation");
+    }
+    store.apply_all(&report.ops).expect("schedule must replay cleanly");
+    // Final layout really is sorted and contiguous.
+    let mut prev_end = report.budget - volume;
+    for (id, ext) in &report.sorted {
+        assert_eq!(store.extent_of(*id), Some(*ext));
+        assert_eq!(ext.offset, prev_end, "not contiguous");
+        prev_end = ext.end();
+    }
+    assert!(report.peak_space <= report.budget + delta);
+    assert!(!report.prefix_suffix_collision);
+
+    println!("\nreplayed {} ops against the simulated store: layout verified sorted,", report.ops.len());
+    println!("contiguous, and within budget. The schedule is cost-oblivious: it is");
+    println!("within O((1/ε)log(1/ε)) of optimal cost on RAM, disk, and SSD alike.");
+}

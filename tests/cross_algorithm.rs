@@ -1,0 +1,124 @@
+//! Cross-algorithm consistency: every allocator in the repository — the
+//! paper's three variants and all baselines — driven over the same
+//! workloads through the same harness, with accounting sanity checks.
+
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::adversarial::lemma_3_7;
+use storage_realloc::workloads::churn::{churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+
+fn full_roster() -> Vec<Box<dyn Reallocator>> {
+    let mut roster: Vec<Box<dyn Reallocator>> = vec![
+        Box::new(CostObliviousReallocator::new(0.5)),
+        Box::new(CheckpointedReallocator::new(0.5)),
+        Box::new(DeamortizedReallocator::new(0.5)),
+    ];
+    roster.extend(storage_realloc::baselines::baseline_roster());
+    roster
+}
+
+fn small_churn(seed: u64) -> Workload {
+    churn(&ChurnConfig {
+        dist: SizeDist::Uniform { lo: 1, hi: 100 },
+        target_volume: 5_000,
+        churn_ops: 2_000,
+        seed,
+    })
+}
+
+/// Every algorithm ends the run with identical liveness.
+#[test]
+fn identical_final_liveness_across_all_algorithms() {
+    let w = small_churn(31);
+    let stats = w.stats();
+    for mut r in full_roster() {
+        let result = run_workload(r.as_mut(), &w, RunConfig::plain())
+            .unwrap_or_else(|e| panic!("{}: {e}", r.name()));
+        assert_eq!(result.final_volume, stats.final_volume, "{}", r.name());
+        assert_eq!(
+            r.live_count(),
+            stats.inserts - stats.deletes,
+            "{}",
+            r.name()
+        );
+    }
+}
+
+/// No-move allocators never emit Move ops; reallocators do.
+#[test]
+fn move_emission_matches_algorithm_class() {
+    let w = small_churn(32);
+    for mut r in full_roster() {
+        let name = r.name();
+        let result = run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
+        let moves = result.ledger.total_moves();
+        match name {
+            "first-fit" | "best-fit" | "next-fit" | "buddy" => {
+                assert_eq!(moves, 0, "{name} must never move objects");
+            }
+            _ => assert!(moves > 0, "{name} should have moved something"),
+        }
+    }
+}
+
+/// Ledger accounting: total allocation cost under linear f equals the sum
+/// of inserted sizes, for every algorithm (it's workload-determined).
+#[test]
+fn allocation_cost_is_algorithm_independent() {
+    let w = small_churn(33);
+    let expected: u64 = w
+        .requests
+        .iter()
+        .filter_map(|r| match r {
+            Request::Insert { size, .. } => Some(*size),
+            _ => None,
+        })
+        .sum();
+    for mut r in full_roster() {
+        let result = run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
+        let measured = result.ledger.total_alloc_cost(&|x| x as f64);
+        assert!(
+            (measured - expected as f64).abs() < 1e-6,
+            "{}: alloc cost {measured} != {expected}",
+            r.name()
+        );
+    }
+}
+
+/// The Lemma 3.7 dichotomy holds across the whole roster: every algorithm
+/// either pays Ω(f(∆)) in one request or exceeds the (3/2)V footprint.
+#[test]
+fn lemma_3_7_dichotomy() {
+    let delta = 512;
+    let w = lemma_3_7(delta);
+    for mut r in full_roster() {
+        let name = r.name();
+        let result = run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
+        let worst_linear = result.ledger.max_op_realloc_cost(&|x| x as f64);
+        let worst_space = result.ledger.max_settled_space_ratio();
+        let pays_moves = worst_linear >= delta as f64 / 2.0;
+        let pays_space = worst_space > 1.5;
+        assert!(
+            pays_moves || pays_space,
+            "{name}: dodged the lower bound (moves {worst_linear}, space {worst_space})"
+        );
+    }
+}
+
+/// Rejecting malformed requests is uniform across the roster.
+#[test]
+fn uniform_error_behaviour() {
+    for mut r in full_roster() {
+        let name = r.name();
+        r.insert(ObjectId(1), 10).unwrap();
+        assert!(
+            matches!(r.insert(ObjectId(1), 5), Err(ReallocError::DuplicateId(_))),
+            "{name}"
+        );
+        assert!(matches!(r.delete(ObjectId(99)), Err(ReallocError::UnknownId(_))), "{name}");
+        assert!(matches!(r.insert(ObjectId(2), 0), Err(ReallocError::ZeroSize)), "{name}");
+        // The failed requests must not have corrupted anything.
+        assert_eq!(r.live_count(), 1, "{name}");
+        assert_eq!(r.live_volume(), 10, "{name}");
+    }
+}

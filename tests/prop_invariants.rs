@@ -1,0 +1,179 @@
+//! Property-based tests: arbitrary request sequences against every
+//! reallocator variant, checking the paper's invariants after each request.
+
+use proptest::prelude::*;
+use storage_realloc::prelude::*;
+
+/// A compact encoding of a random request sequence: positive values insert
+/// an object of that size; a zero deletes the oldest live object.
+fn op_sequence() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => 1u64..=600,  // insert of a size spanning ~10 classes
+            1 => Just(0u64),  // delete-oldest marker
+        ],
+        1..250,
+    )
+}
+
+/// Replays the encoded sequence, returning the requests actually issued.
+fn materialize(ops: &[u64]) -> Vec<Request> {
+    let mut requests = Vec::new();
+    let mut live = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for &op in ops {
+        if op == 0 {
+            if let Some(id) = live.pop_front() {
+                requests.push(Request::Delete { id });
+            }
+        } else {
+            let id = ObjectId(next);
+            next += 1;
+            live.push_back(id);
+            requests.push(Request::Insert { id, size: op });
+        }
+    }
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §2 algorithm: structural invariants (2.2–2.4) and the (1+ε) footprint
+    /// bound hold after every request, and all placements stay disjoint.
+    #[test]
+    fn amortized_invariants_hold(ops in op_sequence(), eps in 0.05f64..=0.5) {
+        let mut r = CostObliviousReallocator::new(eps);
+        for req in materialize(&ops) {
+            match req {
+                Request::Insert { id, size } => { r.insert(id, size).unwrap(); }
+                Request::Delete { id } => { r.delete(id).unwrap(); }
+            }
+            r.validate().unwrap();
+            if r.live_volume() > 0 {
+                let ratio = r.structure_size() as f64 / r.live_volume() as f64;
+                prop_assert!(ratio <= 1.0 + eps + 1e-9, "ratio {ratio} > 1+ε");
+            }
+        }
+    }
+
+    /// §3.2 algorithm: same invariants, plus every emitted move is
+    /// nonoverlapping (checked per op; the full rules are substrate tests).
+    #[test]
+    fn checkpointed_invariants_hold(ops in op_sequence(), eps in 0.05f64..=0.5) {
+        let mut r = CheckpointedReallocator::new(eps);
+        for req in materialize(&ops) {
+            let outcome = match req {
+                Request::Insert { id, size } => r.insert(id, size).unwrap(),
+                Request::Delete { id } => r.delete(id).unwrap(),
+            };
+            for op in &outcome.ops {
+                if let StorageOp::Move { from, to, .. } = op {
+                    prop_assert!(!from.overlaps(to), "overlapping move {from} -> {to}");
+                }
+            }
+            r.validate().unwrap();
+            if r.live_volume() > 0 {
+                let ratio = r.structure_size() as f64 / r.live_volume() as f64;
+                prop_assert!(ratio <= 1.0 + eps + 1e-9, "ratio {ratio} > 1+ε");
+            }
+        }
+    }
+
+    /// §3.3 algorithm: the worst-case volume bound holds for every single
+    /// request, and the mid-flush index stays disjoint throughout.
+    #[test]
+    fn deamortized_worst_case_holds(ops in op_sequence(), eps in 0.05f64..=0.5) {
+        let mut r = DeamortizedReallocator::new(eps);
+        for req in materialize(&ops) {
+            let (w, outcome) = match req {
+                Request::Insert { id, size } => (size, r.insert(id, size).unwrap()),
+                Request::Delete { id } => {
+                    let w = r.extent_of(id).map_or(1, |e| e.len);
+                    (w, r.delete(id).unwrap())
+                }
+            };
+            let bound = r.eps().pump_quota(w) + r.max_object_size();
+            prop_assert!(
+                outcome.moved_volume() <= bound,
+                "moved {} > bound {bound}",
+                outcome.moved_volume()
+            );
+            r.validate().unwrap();
+        }
+    }
+
+    /// All three variants agree with a trivial reference model on liveness:
+    /// same live ids, same sizes, same total volume.
+    #[test]
+    fn variants_agree_with_reference_model(ops in op_sequence()) {
+        let requests = materialize(&ops);
+        let mut reference = std::collections::HashMap::new();
+        for req in &requests {
+            match *req {
+                Request::Insert { id, size } => { reference.insert(id, size); }
+                Request::Delete { id } => { reference.remove(&id); }
+            }
+        }
+        let check = |r: &dyn Reallocator| -> Result<(), TestCaseError> {
+            prop_assert_eq!(r.live_count(), reference.len(), "{}", r.name());
+            prop_assert_eq!(r.live_volume(), reference.values().sum::<u64>(), "{}", r.name());
+            for (&id, &size) in &reference {
+                let e = r.extent_of(id);
+                prop_assert!(e.map(|e| e.len) == Some(size), "{}: {id} wrong", r.name());
+            }
+            Ok(())
+        };
+        let drive = |r: &mut dyn Reallocator| {
+            for req in &requests {
+                match *req {
+                    Request::Insert { id, size } => { r.insert(id, size).unwrap(); }
+                    Request::Delete { id } => { r.delete(id).unwrap(); }
+                }
+            }
+        };
+
+        let mut amortized = CostObliviousReallocator::new(0.3);
+        drive(&mut amortized);
+        check(&amortized)?;
+
+        let mut ckpt = CheckpointedReallocator::new(0.3);
+        drive(&mut ckpt);
+        check(&ckpt)?;
+
+        // Pending deletes stay *active* until drained (paper semantics);
+        // quiesce before comparing against the reference model.
+        let mut deamortized = DeamortizedReallocator::new(0.3);
+        drive(&mut deamortized);
+        deamortized.drain();
+        deamortized.validate().unwrap();
+        check(&deamortized)?;
+    }
+
+    /// Baselines also maintain exact liveness and disjoint placements.
+    #[test]
+    fn baselines_maintain_disjoint_placements(ops in op_sequence()) {
+        let requests = materialize(&ops);
+        for mut r in storage_realloc::baselines::baseline_roster() {
+            let mut live = std::collections::HashSet::new();
+            for req in &requests {
+                match *req {
+                    Request::Insert { id, size } => { r.insert(id, size).unwrap(); live.insert(id); }
+                    Request::Delete { id } => { r.delete(id).unwrap(); live.remove(&id); }
+                }
+            }
+            let mut extents: Vec<Extent> =
+                live.iter().map(|&id| r.extent_of(id).unwrap()).collect();
+            extents.sort_by_key(|e| e.offset);
+            for pair in extents.windows(2) {
+                prop_assert!(
+                    !pair[0].overlaps(&pair[1]),
+                    "{}: {} overlaps {}",
+                    r.name(),
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+}

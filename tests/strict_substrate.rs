@@ -1,0 +1,113 @@
+//! The Section 3 algorithms against the database substrate: the strict
+//! rules (nonoverlapping moves + the freed-space rule) must hold
+//! mechanically, crash recovery must never lose a block, and the Section 2
+//! algorithm must *fail* these rules — that failure is the reason §3
+//! exists.
+
+use storage_realloc::harness::RunError;
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::churn::{churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+use storage_realloc::workloads::trace::{block_rewrites, sawtooth};
+
+fn workloads() -> Vec<Workload> {
+    let uniform = SizeDist::Uniform { lo: 1, hi: 200 };
+    let bimodal = SizeDist::Bimodal {
+        small_lo: 1,
+        small_hi: 8,
+        large_lo: 64,
+        large_hi: 256,
+        large_prob: 0.1,
+    };
+    vec![
+        churn(&ChurnConfig {
+            dist: uniform.clone(),
+            target_volume: 10_000,
+            churn_ops: 4_000,
+            seed: 21,
+        }),
+        churn(&ChurnConfig {
+            dist: bimodal,
+            target_volume: 8_000,
+            churn_ops: 4_000,
+            seed: 22,
+        }),
+        block_rewrites(300, 2_000, &uniform, 23),
+        sawtooth(2_000, 10_000, 3, &uniform, 24),
+    ]
+}
+
+/// The checkpointed reallocator obeys both database rules on every
+/// workload, with a crash simulated after every single request.
+#[test]
+fn checkpointed_survives_crash_after_every_request() {
+    for w in workloads() {
+        let mut r = CheckpointedReallocator::new(0.25);
+        let result = run_workload(&mut r, &w, RunConfig::strict_with_crashes())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let sim = result.sim.unwrap();
+        assert!(sim.checkpoints() > 0, "{}: no checkpoints happened", w.name);
+        sim.verify_matches(|id| r.extent_of(id)).unwrap();
+    }
+}
+
+/// The deamortized reallocator obeys the same rules mid-flush and all.
+#[test]
+fn deamortized_survives_crash_after_every_request() {
+    for w in workloads() {
+        let mut r = DeamortizedReallocator::new(0.25);
+        let result = run_workload(&mut r, &w, RunConfig::strict_with_crashes())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        result.sim.unwrap().verify_matches(|id| r.extent_of(id)).unwrap();
+    }
+}
+
+/// Negative control: the §2 algorithm's compaction uses memmove-style
+/// overlapping moves and immediate space reuse — the strict substrate
+/// must reject it. (If this ever passes, the strict checker is broken.)
+#[test]
+fn amortized_violates_strict_rules() {
+    let mut violated = false;
+    for w in workloads() {
+        let mut r = CostObliviousReallocator::new(0.25);
+        if let Err(RunError::Substrate(..)) = run_workload(&mut r, &w, RunConfig::strict()) {
+            violated = true;
+            break;
+        }
+    }
+    assert!(violated, "§2 algorithm unexpectedly satisfied the database rules");
+}
+
+/// The §2 algorithm replays cleanly under relaxed (memmove) semantics —
+/// its moves never clobber *other* objects.
+#[test]
+fn amortized_replays_relaxed_everywhere() {
+    for w in workloads() {
+        let mut r = CostObliviousReallocator::new(0.25);
+        let result = run_workload(&mut r, &w, RunConfig::relaxed())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        result.sim.unwrap().verify_matches(|id| r.extent_of(id)).unwrap();
+    }
+}
+
+/// Durable recovery content check: after a crash, every object the durable
+/// map knows about is recovered at exactly the mapped extent.
+#[test]
+fn recovery_restores_the_checkpointed_view() {
+    let w = workloads().remove(2); // block rewrites
+    let mut r = CheckpointedReallocator::new(0.25);
+    let mut sim = SimStore::new(Mode::Strict);
+    for req in &w.requests {
+        let outcome = match *req {
+            Request::Insert { id, size } => r.insert(id, size).unwrap(),
+            Request::Delete { id } => r.delete(id).unwrap(),
+        };
+        sim.apply_all(&outcome.ops).unwrap();
+    }
+    let report = sim.crash_and_recover();
+    assert!(report.is_durable());
+    // Every recovered id was mapped at the last checkpoint.
+    for id in &report.recovered {
+        assert!(sim.durable_btl().contains_key(id));
+    }
+}

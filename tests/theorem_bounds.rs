@@ -1,0 +1,195 @@
+//! End-to-end verification of the paper's headline bounds on realistic
+//! workloads, across all three reallocator variants and the ε range.
+
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::churn::{churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+use storage_realloc::workloads::trace::{block_rewrites, sawtooth};
+
+fn churn_workload(seed: u64) -> Workload {
+    churn(&ChurnConfig {
+        dist: SizeDist::ClassPowerLaw { classes: 9, decay: 0.7 },
+        target_volume: 20_000,
+        churn_ops: 8_000,
+        seed,
+    })
+}
+
+/// Lemma 2.5: the settled footprint is within (1+ε)·V after every request,
+/// for every ε in the legal range.
+#[test]
+fn footprint_bound_over_eps_range() {
+    let w = churn_workload(11);
+    for eps in [0.5, 0.25, 0.125, 0.0625, 0.03125] {
+        let mut r = CostObliviousReallocator::new(eps);
+        let result = run_workload(&mut r, &w, RunConfig::plain()).unwrap();
+        let ratio = result.ledger.max_settled_space_ratio();
+        assert!(
+            ratio <= 1.0 + eps + 1e-9,
+            "ε={eps}: settled ratio {ratio} exceeds bound"
+        );
+    }
+}
+
+/// Theorem 2.1: the cost ratio is within c·(1/ε′)ln(1/ε′) for every cost
+/// function in the suite simultaneously — one run, priced post-hoc.
+#[test]
+fn cost_ratio_bounded_for_every_subadditive_f() {
+    let w = churn_workload(12);
+    for eps in [0.5, 0.125] {
+        let mut r = CostObliviousReallocator::new(eps);
+        let result = run_workload(&mut r, &w, RunConfig::plain()).unwrap();
+        let eps_p = eps / 3.0;
+        let theory = (1.0 / eps_p) * (1.0 / eps_p).ln();
+        for f in storage_realloc::cost::standard_suite() {
+            let b = result.ledger.cost_ratio(&|x| f.cost(x));
+            assert!(
+                b <= 4.0 * theory,
+                "ε={eps}, f={}: ratio {b} too far above theory {theory}",
+                f.name()
+            );
+        }
+    }
+}
+
+/// The same guarantees hold for the checkpointed variant (its move plan
+/// differs but the move count per object does not).
+#[test]
+fn checkpointed_variant_keeps_both_bounds() {
+    let w = churn_workload(13);
+    let eps = 0.25;
+    let mut r = CheckpointedReallocator::new(eps);
+    let result = run_workload(&mut r, &w, RunConfig::strict()).unwrap();
+    assert!(result.ledger.max_settled_space_ratio() <= 1.0 + eps + 1e-9);
+    let eps_p = eps / 3.0;
+    let theory = (1.0 / eps_p) * (1.0 / eps_p).ln();
+    for f in storage_realloc::cost::standard_suite() {
+        let b = result.ledger.cost_ratio(&|x| f.cost(x));
+        assert!(b <= 6.0 * theory, "f={}: {b} vs theory {theory}", f.name());
+    }
+}
+
+/// Lemma 3.6: the deamortized variant's per-request moved volume never
+/// exceeds (4/ε′)·w + ∆, on churn and on database-shaped traces.
+#[test]
+fn deamortized_worst_case_bound_on_traces() {
+    let eps = 0.5;
+    let pump_rate = 4.0 / (eps / 3.0);
+    let dist = SizeDist::Uniform { lo: 1, hi: 256 };
+    for w in [
+        churn_workload(14),
+        block_rewrites(500, 3_000, &dist, 15),
+        sawtooth(5_000, 20_000, 3, &dist, 16),
+    ] {
+        let mut r = DeamortizedReallocator::new(eps);
+        let result = run_workload(&mut r, &w, RunConfig::plain()).unwrap();
+        let util = result.ledger.max_worst_case_utilization(pump_rate);
+        assert!(util <= 1.0 + 1e-9, "{}: utilization {util} > 1", w.name);
+    }
+}
+
+/// Lemma 3.5 (quiescent half): when no flush is in progress the deamortized
+/// structure's space is (1+O(ε′))·V.
+#[test]
+fn deamortized_quiescent_footprint() {
+    let w = churn_workload(17);
+    let mut r = DeamortizedReallocator::new(0.5);
+    run_workload(&mut r, &w, RunConfig::plain()).unwrap();
+    r.drain();
+    let ratio = r.structure_size() as f64 / r.live_volume() as f64;
+    assert!(ratio <= 1.5 + 1e-9, "quiescent ratio {ratio}");
+    r.validate().unwrap();
+}
+
+/// Lemma 3.3's shape: checkpoints per flush grow at most linearly in 1/ε.
+#[test]
+fn checkpoints_scale_linearly_in_inverse_eps() {
+    let w = churn_workload(18);
+    let max_cp = |eps: f64| -> f64 {
+        let mut r = CheckpointedReallocator::new(eps);
+        let result = run_workload(&mut r, &w, RunConfig::plain()).unwrap();
+        result.ledger.max_op_checkpoints() as f64
+    };
+    let loose = max_cp(0.5);
+    let tight = max_cp(0.0625);
+    assert!(loose >= 1.0);
+    // 8x tighter ε may use at most ~8x more checkpoints (3x slack).
+    assert!(tight <= loose * 8.0 * 3.0, "checkpoints grew superlinearly: {loose} -> {tight}");
+}
+
+/// Chained-flush stress: a stream of ever-larger new-largest-class inserts
+/// arriving mid-flush forces the deamortized structure through repeated
+/// chain-flushes (the documented §3.3 fallback). Every bound must survive.
+#[test]
+fn deamortized_survives_escalating_class_chains() {
+    let eps = 0.25;
+    let mut r = DeamortizedReallocator::new(eps);
+    let mut next_id = 0u64;
+    let mut insert = |r: &mut DeamortizedReallocator, size: u64| {
+        let out = r.insert(ObjectId(next_id), size).unwrap();
+        next_id += 1;
+        out
+    };
+    // Base population of small objects.
+    for n in 0..200u64 {
+        insert(&mut r, 1 + (n % 16));
+    }
+    // Escalate through 10 brand-new largest classes, each arriving while
+    // the previous flush may still be draining, interleaved with smalls.
+    for k in 5..15u32 {
+        let out = insert(&mut r, 1u64 << k);
+        let bound = r.eps().pump_quota(1 << k) + r.max_object_size();
+        assert!(out.moved_volume() <= bound, "class {k}: worst-case bound broken");
+        for _ in 0..5 {
+            insert(&mut r, 3);
+        }
+        r.validate().unwrap();
+    }
+    r.drain();
+    r.validate().unwrap();
+    let ratio = r.structure_size() as f64 / r.live_volume() as f64;
+    assert!(ratio <= 1.0 + eps + 1e-9, "post-drain ratio {ratio}");
+    // All the big objects are addressable with exact sizes.
+    let total = next_id;
+    for k in 5..15u32 {
+        let size = 1u64 << k;
+        assert!(
+            (0..total).any(|n| r
+                .extent_of(ObjectId(n))
+                .is_some_and(|e| e.len == size)),
+            "lost the class-{k} object"
+        );
+    }
+}
+
+/// Every object remains addressable with its exact size through heavy
+/// churn, for all three variants.
+#[test]
+fn no_object_is_ever_lost() {
+    let w = churn_workload(19);
+    let mut live = std::collections::HashMap::new();
+    for req in &w.requests {
+        match *req {
+            Request::Insert { id, size } => {
+                live.insert(id, size);
+            }
+            Request::Delete { id } => {
+                live.remove(&id);
+            }
+        }
+    }
+    let algs: Vec<Box<dyn Reallocator>> = vec![
+        Box::new(CostObliviousReallocator::new(0.5)),
+        Box::new(CheckpointedReallocator::new(0.5)),
+        Box::new(DeamortizedReallocator::new(0.5)),
+    ];
+    for mut r in algs {
+        run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
+        for (&id, &size) in &live {
+            let e = r.extent_of(id).unwrap_or_else(|| panic!("{} lost {id}", r.name()));
+            assert_eq!(e.len, size, "{}: {id} changed size", r.name());
+        }
+        assert_eq!(r.live_count(), live.len());
+        assert_eq!(r.live_volume(), live.values().sum::<u64>());
+    }
+}
