@@ -60,6 +60,18 @@ pub trait Reallocator {
     /// `∆`: the largest object length seen so far.
     fn max_object_size(&self) -> u64;
 
+    /// Completes any deferred work, returning the physical ops performed.
+    ///
+    /// Most implementors serve every request to completion and have nothing
+    /// to do (the default returns an empty [`Outcome`]). The deamortized
+    /// structure overrides this to pump its in-progress flush to the end, so
+    /// that afterwards pending deletes have drained and liveness queries
+    /// match the request history exactly. Drivers comparing any
+    /// `dyn Reallocator` against a reference model should quiesce first.
+    fn quiesce(&mut self) -> Outcome {
+        Outcome::empty()
+    }
+
     /// Short human-readable algorithm name for tables.
     fn name(&self) -> &'static str;
 

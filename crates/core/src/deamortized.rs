@@ -687,6 +687,10 @@ impl Reallocator for DeamortizedReallocator {
         self.layout.delta()
     }
 
+    fn quiesce(&mut self) -> Outcome {
+        self.drain()
+    }
+
     fn name(&self) -> &'static str {
         "cost-oblivious-deamortized"
     }

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! This workspace builds with no network access, so the real crates.io
+//! package cannot be fetched; this crate shadows it via a workspace path
+//! dependency. It implements the API subset our one criterion target uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Throughput`], [`BenchmarkId`], [`criterion_group!`],
+//! [`criterion_main!`] — with a simple mean-of-samples timer instead of
+//! criterion's statistical machinery. Good enough to smoke the benches and
+//! print comparable numbers; not a replacement for real criterion runs.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size, throughput: None }
+    }
+}
+
+/// Units processed per iteration, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id rendered as just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing throughput units and sample counts.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times `f` and prints mean per-iteration time (plus throughput).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let mean = if b.iters == 0 { Duration::ZERO } else { b.total / b.iters as u32 };
+        let rate = match (self.throughput, mean.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), s) if s > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / s)
+            }
+            (Some(Throughput::Bytes(n)), s) if s > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / s)
+            }
+            _ => String::new(),
+        };
+        println!("  {}/{}: {:?}/iter over {} iters{rate}", self.name, id, mean, b.iters);
+        self
+    }
+
+    /// Ends the group (printing only; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark body to the timing loop.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` once untimed (warm-up), then `samples` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from [`criterion_group!`] outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("noop", "x"), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("algo", "eps=0.5").to_string(), "algo/eps=0.5");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}
