@@ -118,7 +118,10 @@ impl Reallocator for BuddyAllocator {
     }
 
     fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
-        let (ext, order) = self.allocated.remove(&id).ok_or(ReallocError::UnknownId(id))?;
+        let (ext, order) = self
+            .allocated
+            .remove(&id)
+            .ok_or(ReallocError::UnknownId(id))?;
         self.volume -= ext.len;
         let end = ext.offset + (1u64 << order);
         if let Some(n) = self.ends.get_mut(&end) {
@@ -180,7 +183,10 @@ mod tests {
         a.insert(id(2), 8).unwrap(); // block of 8
         assert_eq!(a.extent_of(id(1)).unwrap().offset % 8, 0);
         assert_eq!(a.extent_of(id(2)).unwrap().offset % 8, 0);
-        assert_ne!(a.extent_of(id(1)).unwrap().offset, a.extent_of(id(2)).unwrap().offset);
+        assert_ne!(
+            a.extent_of(id(1)).unwrap().offset,
+            a.extent_of(id(2)).unwrap().offset
+        );
     }
 
     #[test]
@@ -219,7 +225,10 @@ mod tests {
             a.insert(id(n), 17).unwrap();
         }
         let ratio = a.footprint() as f64 / a.live_volume() as f64;
-        assert!(ratio >= 1.5, "expected ≥1.5x internal fragmentation, got {ratio}");
+        assert!(
+            ratio >= 1.5,
+            "expected ≥1.5x internal fragmentation, got {ratio}"
+        );
     }
 
     #[test]
@@ -234,8 +243,7 @@ mod tests {
                 a.delete(id(victim)).unwrap();
             }
         }
-        let mut extents: Vec<Extent> =
-            live.iter().map(|&n| a.extent_of(id(n)).unwrap()).collect();
+        let mut extents: Vec<Extent> = live.iter().map(|&n| a.extent_of(id(n)).unwrap()).collect();
         extents.sort_by_key(|e| e.offset);
         for w in extents.windows(2) {
             assert!(!w[0].overlaps(&w[1]), "{} overlaps {}", w[0], w[1]);

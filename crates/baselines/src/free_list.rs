@@ -147,7 +147,10 @@ impl Reallocator for FreeListAllocator {
     }
 
     fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
-        let ext = self.allocated.remove(&id).ok_or(ReallocError::UnknownId(id))?;
+        let ext = self
+            .allocated
+            .remove(&id)
+            .ok_or(ReallocError::UnknownId(id))?;
         self.volume -= ext.len;
         self.insert_hole(ext.offset, ext.len);
         Ok(Outcome {
@@ -231,7 +234,11 @@ mod tests {
         a.delete(id(0)).unwrap(); // hole [0,10)
         a.delete(id(2)).unwrap(); // hole [15,23)
         a.insert(id(10), 7).unwrap();
-        assert_eq!(a.extent_of(id(10)).unwrap().offset, 15, "chose the size-8 hole");
+        assert_eq!(
+            a.extent_of(id(10)).unwrap().offset,
+            15,
+            "chose the size-8 hole"
+        );
     }
 
     #[test]
@@ -297,7 +304,10 @@ mod tests {
     fn errors() {
         let mut a = FreeListAllocator::new(FitStrategy::FirstFit);
         a.insert(id(1), 4).unwrap();
-        assert!(matches!(a.insert(id(1), 4), Err(ReallocError::DuplicateId(_))));
+        assert!(matches!(
+            a.insert(id(1), 4),
+            Err(ReallocError::DuplicateId(_))
+        ));
         assert!(matches!(a.delete(id(2)), Err(ReallocError::UnknownId(_))));
         assert!(matches!(a.insert(id(3), 0), Err(ReallocError::ZeroSize)));
     }

@@ -72,7 +72,8 @@ impl SizeClassGapsAllocator {
         if self.classes.len() <= k as usize {
             let end = self.total_space();
             let old_len = self.classes.len();
-            self.classes.resize_with(k as usize + 1, ClassRegion::default);
+            self.classes
+                .resize_with(k as usize + 1, ClassRegion::default);
             for c in &mut self.classes[old_len..] {
                 c.start = end;
             }
@@ -121,7 +122,13 @@ impl SizeClassGapsAllocator {
     /// upward. The deepest (largest-class) displacement is pushed onto
     /// `chain` first, so the chain is already in the top-down order that
     /// vacates every move's target before it is written.
-    fn cascade(&mut self, k: u32, id: ObjectId, size: u64, chain: &mut Vec<(ObjectId, Extent, u64)>) {
+    fn cascade(
+        &mut self,
+        k: u32,
+        id: ObjectId,
+        size: u64,
+        chain: &mut Vec<(ObjectId, Extent, u64)>,
+    ) {
         let slot = 1u64 << k;
         let next = self.relabel_gaps(k);
         let region_end = self.classes[k as usize].end(k);
@@ -132,7 +139,10 @@ impl SizeClassGapsAllocator {
         } else if let Some(j) = next {
             // Displace the first object of the next nonempty class.
             let jslot = 1u64 << j;
-            let victim = self.classes[j as usize].slots.pop_front().expect("nonempty");
+            let victim = self.classes[j as usize]
+                .slots
+                .pop_front()
+                .expect("nonempty");
             let (vclass, vsize, voffset) = self.index[&victim];
             debug_assert_eq!(vclass, j);
             debug_assert_eq!(voffset, self.classes[j as usize].start);
@@ -240,7 +250,10 @@ impl Reallocator for SizeClassGapsAllocator {
         let idx = ((offset - region.start) / slot) as usize;
         let last = region.slots.len() - 1;
 
-        let mut ops = vec![StorageOp::Free { id, at: Extent::new(offset, size) }];
+        let mut ops = vec![StorageOp::Free {
+            id,
+            at: Extent::new(offset, size),
+        }];
         if idx != last {
             // Swap the class's last object into the hole: one same-class move.
             let mover = *region.slots.back().expect("nonempty");
@@ -277,7 +290,9 @@ impl Reallocator for SizeClassGapsAllocator {
     }
 
     fn extent_of(&self, id: ObjectId) -> Option<Extent> {
-        self.index.get(&id).map(|&(_, size, offset)| Extent::new(offset, size))
+        self.index
+            .get(&id)
+            .map(|&(_, size, offset)| Extent::new(offset, size))
     }
 
     fn live_volume(&self) -> u64 {
@@ -354,7 +369,10 @@ mod tests {
         let e1 = a.extent_of(id(1)).unwrap();
         let e2 = a.extent_of(id(2)).unwrap();
         let e3 = a.extent_of(id(3)).unwrap();
-        assert!(e2.offset < e3.offset && e3.offset < e1.offset, "{e2} {e3} {e1}");
+        assert!(
+            e2.offset < e3.offset && e3.offset < e1.offset,
+            "{e2} {e3} {e1}"
+        );
     }
 
     #[test]
@@ -401,7 +419,10 @@ mod tests {
         };
         let small = run(4);
         let large = run(8);
-        assert!(large >= 2 * small, "cascade volume should grow with ∆: {small} vs {large}");
+        assert!(
+            large >= 2 * small,
+            "cascade volume should grow with ∆: {small} vs {large}"
+        );
     }
 
     #[test]

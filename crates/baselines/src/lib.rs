@@ -33,6 +33,15 @@ pub use log_compact::LogCompactAllocator;
 
 use realloc_common::Reallocator;
 
+// Baselines ride in the sharded serving layer too; keep them `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<BuddyAllocator>();
+    assert_send::<FreeListAllocator>();
+    assert_send::<SizeClassGapsAllocator>();
+    assert_send::<LogCompactAllocator>();
+};
+
 /// Constructs the full comparison roster (paper's algorithms excluded),
 /// used by experiment tables.
 pub fn baseline_roster() -> Vec<Box<dyn Reallocator>> {

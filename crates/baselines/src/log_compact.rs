@@ -76,7 +76,10 @@ impl Reallocator for LogCompactAllocator {
     }
 
     fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
-        let ext = self.allocated.remove(&id).ok_or(ReallocError::UnknownId(id))?;
+        let ext = self
+            .allocated
+            .remove(&id)
+            .ok_or(ReallocError::UnknownId(id))?;
         self.volume -= ext.len;
         let mut ops = vec![StorageOp::Free { id, at: ext }];
         let peak = self.top;

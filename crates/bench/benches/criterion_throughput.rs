@@ -4,10 +4,12 @@
 //! Criterion benchmark: requests/second over the standard churn workload
 //! for each algorithm, plus the flush-heavy small-ε case.
 
+use alloc_baselines::{
+    FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use realloc_common::Reallocator;
 use realloc_core::{CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator};
-use alloc_baselines::{FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator};
 use workload_gen::{Request, Workload};
 
 fn drive(r: &mut dyn Reallocator, w: &Workload) -> u64 {
@@ -43,7 +45,12 @@ fn throughput(c: &mut Criterion) {
         b.iter(|| drive(&mut DeamortizedReallocator::new(0.5), &workload))
     });
     group.bench_function(BenchmarkId::new("first-fit", "baseline"), |b| {
-        b.iter(|| drive(&mut FreeListAllocator::new(FitStrategy::FirstFit), &workload))
+        b.iter(|| {
+            drive(
+                &mut FreeListAllocator::new(FitStrategy::FirstFit),
+                &workload,
+            )
+        })
     });
     group.bench_function(BenchmarkId::new("log-compact", "baseline"), |b| {
         b.iter(|| drive(&mut LogCompactAllocator::new(), &workload))

@@ -28,7 +28,14 @@ fn main() {
     // --- ε′ sweep ---
     let mut table = Table::new(
         "A: buffer fraction ε′ at fixed ε = 1/2 (default ε/3 ≈ 0.167; guarantee needs ≤ 0.2)",
-        &["ε′", "max settled ratio", "≤ 1+ε?", "flushes", "b(unit)", "b(linear)"],
+        &[
+            "ε′",
+            "max settled ratio",
+            "≤ 1+ε?",
+            "flushes",
+            "b(unit)",
+            "b(linear)",
+        ],
     );
     for eps_prime in [0.05, 0.1, 1.0 / 6.0, 0.2, 0.3, 0.45] {
         let mut r = CostObliviousReallocator::with_eps(Eps::custom(eps, eps_prime, 4.0));
@@ -37,7 +44,12 @@ fn main() {
         table.row(vec![
             fmt3(eps_prime),
             fmt3(ratio),
-            if ratio <= 1.0 + eps + 1e-9 { "yes" } else { "NO" }.to_string(),
+            if ratio <= 1.0 + eps + 1e-9 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
             r.flush_count().to_string(),
             fmt2(result.ledger.cost_ratio(&|_| 1.0)),
             fmt2(result.ledger.cost_ratio(&|x| x as f64)),
@@ -48,7 +60,13 @@ fn main() {
     // --- pump factor sweep ---
     let mut table = Table::new(
         "B: deamortized pump factor (Lemma 3.4 requires ≥ 4 for the log to drain in time)",
-        &["factor", "worst op volume / ((4/ε')w+∆)", "max op volume", "b(linear)", "flushes"],
+        &[
+            "factor",
+            "worst op volume / ((4/ε')w+∆)",
+            "max op volume",
+            "b(linear)",
+            "flushes",
+        ],
     );
     for factor in [2.0, 4.0, 8.0, 16.0] {
         let mut r = DeamortizedReallocator::with_eps(Eps::custom(eps, eps / 3.0, factor));

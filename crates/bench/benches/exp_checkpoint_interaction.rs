@@ -58,11 +58,31 @@ fn main() {
 
     type Mk = (&'static str, f64, Box<dyn Fn() -> Box<dyn Reallocator>>);
     let cases: Vec<Mk> = vec![
-        ("amortized (§2, no rules)", 0.25, Box::new(|| Box::new(CostObliviousReallocator::new(0.25)))),
-        ("checkpointed (§3.2)", 0.5, Box::new(|| Box::new(CheckpointedReallocator::new(0.5)))),
-        ("checkpointed (§3.2)", 0.25, Box::new(|| Box::new(CheckpointedReallocator::new(0.25)))),
-        ("checkpointed (§3.2)", 0.125, Box::new(|| Box::new(CheckpointedReallocator::new(0.125)))),
-        ("deamortized (§3.3)", 0.25, Box::new(|| Box::new(DeamortizedReallocator::new(0.25)))),
+        (
+            "amortized (§2, no rules)",
+            0.25,
+            Box::new(|| Box::new(CostObliviousReallocator::new(0.25))),
+        ),
+        (
+            "checkpointed (§3.2)",
+            0.5,
+            Box::new(|| Box::new(CheckpointedReallocator::new(0.5))),
+        ),
+        (
+            "checkpointed (§3.2)",
+            0.25,
+            Box::new(|| Box::new(CheckpointedReallocator::new(0.25))),
+        ),
+        (
+            "checkpointed (§3.2)",
+            0.125,
+            Box::new(|| Box::new(CheckpointedReallocator::new(0.125))),
+        ),
+        (
+            "deamortized (§3.3)",
+            0.25,
+            Box::new(|| Box::new(DeamortizedReallocator::new(0.25))),
+        ),
     ];
 
     for (name, eps, make) in &cases {

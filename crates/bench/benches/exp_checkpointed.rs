@@ -53,8 +53,7 @@ fn main() {
         let avg_cp = result.ledger.total_checkpoints() as f64 / flushes as f64;
         let inv_eps_p = 1.0 / r.eps().prime();
         // Additive excess of the transient peak over (1+ε)V, in ∆ units.
-        let excess = result.ledger.max_peak_excess(1.0 + eps).max(0.0)
-            / result.delta.max(1) as f64;
+        let excess = result.ledger.max_peak_excess(1.0 + eps).max(0.0) / result.delta.max(1) as f64;
 
         if let Some((prev_inv, prev_max)) = prev {
             // Lemma 3.3 shape: max checkpoints should grow no faster than

@@ -102,8 +102,12 @@ fn main() {
         Box::new(DeamortizedReallocator::new(eps)),
     ] {
         let result = run_workload(r.as_mut(), &workloads[0], RunConfig::plain()).expect("run");
-        let mut vols: Vec<u64> =
-            result.ledger.records().iter().map(|rec| rec.moved_volume()).collect();
+        let mut vols: Vec<u64> = result
+            .ledger
+            .records()
+            .iter()
+            .map(|rec| rec.moved_volume())
+            .collect();
         vols.sort_unstable();
         let pct = |p: f64| vols[((vols.len() - 1) as f64 * p) as usize];
         profile.row(vec![

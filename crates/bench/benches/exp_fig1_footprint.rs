@@ -29,7 +29,14 @@ fn main() {
 
     let mut table = Table::new(
         "footprint summary (cells)",
-        &["algorithm", "peak", "final footprint", "final V", "final ratio", "ratio ≤ 1.5"],
+        &[
+            "algorithm",
+            "peak",
+            "final footprint",
+            "final V",
+            "final ratio",
+            "ratio ≤ 1.5",
+        ],
     );
 
     let mut series: Vec<(&str, Vec<u64>)> = Vec::new();
@@ -39,7 +46,11 @@ fn main() {
             RunConfig::plain(),
             false,
         ),
-        (Box::new(CostObliviousReallocator::new(0.5)), RunConfig::relaxed(), true),
+        (
+            Box::new(CostObliviousReallocator::new(0.5)),
+            RunConfig::relaxed(),
+            true,
+        ),
     ];
     for (mut r, config, is_realloc) in cases {
         let result = run_workload(r.as_mut(), &workload, config).expect("run");
@@ -72,8 +83,10 @@ fn main() {
     table.print();
 
     println!("\nfootprint over time (one sample per 5% of the run):");
-    const BARS: [char; 8] =
-        ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     for (name, samples) in &series {
         let max = *samples.iter().max().unwrap_or(&1) as f64;
         print!("{name:>14}: ");

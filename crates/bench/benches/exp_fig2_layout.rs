@@ -36,12 +36,22 @@ fn main() {
 
     let mut table = Table::new(
         "figure claims vs structure",
-        &["class", "start", "payload", "buffer", "buffer ≤ ⌊ε′·payload⌋", "ascending start"],
+        &[
+            "class",
+            "start",
+            "payload",
+            "buffer",
+            "buffer ≤ ⌊ε′·payload⌋",
+            "ascending start",
+        ],
     );
     let views = r.region_views();
     let mut prev_start = 0;
     let mut all_ok = true;
-    for v in views.iter().filter(|v| v.payload_space > 0 || v.buffer_space > 0) {
+    for v in views
+        .iter()
+        .filter(|v| v.payload_space > 0 || v.buffer_space > 0)
+    {
         let quota_ok = v.buffer_space <= (r.eps().prime() * v.payload_space as f64) as u64 + 1;
         let asc_ok = v.start >= prev_start;
         all_ok &= quota_ok && asc_ok;
@@ -57,7 +67,10 @@ fn main() {
     }
     table.print();
 
-    println!("\ninvariants 2.2–2.4: {}", verdict(r.validate().is_ok() && all_ok));
+    println!(
+        "\ninvariants 2.2–2.4: {}",
+        verdict(r.validate().is_ok() && all_ok)
+    );
     println!(
         "structure {} cells over V = {} live cells (ratio {:.3} ≤ 1+ε = {:.1})",
         fmt_u64(r.structure_size()),

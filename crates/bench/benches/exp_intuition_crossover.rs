@@ -80,7 +80,13 @@ fn main() {
     // --- Part B: the cascade — worst single unit-insert under linear cost.
     let mut table_b = Table::new(
         "B: cascade-trigger, LINEAR cost — worst single unit-insert moved volume",
-        &["∆", "gaps worst insert", "gaps worst/∆", "cost-obl b(linear)", "gaps b(linear)"],
+        &[
+            "∆",
+            "gaps worst insert",
+            "gaps worst/∆",
+            "cost-obl b(linear)",
+            "gaps b(linear)",
+        ],
     );
     for &delta in &deltas {
         let w = cascade_trigger(delta, 400);
@@ -118,7 +124,13 @@ fn main() {
     let delta = *deltas.last().unwrap();
     let mut table_c = Table::new(
         format!("C: competitive cost ratio b(f) at ∆ = {delta} (lower is better)"),
-        &["algorithm", "killer b(unit)", "killer b(linear)", "cascade b(unit)", "cascade b(linear)"],
+        &[
+            "algorithm",
+            "killer b(unit)",
+            "killer b(linear)",
+            "cascade b(unit)",
+            "cascade b(linear)",
+        ],
     );
     let killer = compaction_killer(delta, 8);
     let cascade = cascade_trigger(delta, 400);

@@ -49,7 +49,14 @@ fn main() {
         let w = lemma_3_7(delta);
         let mut table = Table::new(
             format!("∆ = {delta}: max single-request cost / f(∆), and worst footprint ratio"),
-            &["algorithm", "unit", "linear", "sqrt", "worst space ratio", "keeps 3/2·V"],
+            &[
+                "algorithm",
+                "unit",
+                "linear",
+                "sqrt",
+                "worst space ratio",
+                "keeps 3/2·V",
+            ],
         );
         for mut alg in roster() {
             let result = run_workload(alg.as_mut(), &w, RunConfig::plain()).expect("run");

@@ -29,7 +29,13 @@ fn main() {
 
     let mut space_table = Table::new(
         "Lemma 2.5 — footprint competitiveness",
-        &["ε", "bound 1+ε", "max settled ratio", "flush count", "verdict"],
+        &[
+            "ε",
+            "bound 1+ε",
+            "max settled ratio",
+            "flush count",
+            "verdict",
+        ],
     );
     let mut cost_table = Table::new(
         "Lemma 2.6 — cost competitive ratio b(f) per cost function (one run, priced post-hoc)",

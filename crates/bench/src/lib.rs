@@ -50,7 +50,10 @@ impl Table {
         out.push_str(&line(&self.headers, &widths));
         out.push_str(&format!(
             "|{}\n",
-            widths.iter().map(|w| "-".repeat(w + 2) + "|").collect::<String>()
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2) + "|")
+                .collect::<String>()
         ));
         for row in &self.rows {
             out.push_str(&line(row, &widths));
@@ -95,7 +98,10 @@ pub fn verdict(ok: bool) -> String {
 /// The standard churn workload used by several experiments.
 pub fn standard_churn(target_volume: u64, ops: usize, seed: u64) -> workload_gen::Workload {
     workload_gen::churn::churn(&workload_gen::churn::ChurnConfig {
-        dist: workload_gen::dist::SizeDist::ClassPowerLaw { classes: 10, decay: 0.7 },
+        dist: workload_gen::dist::SizeDist::ClassPowerLaw {
+            classes: 10,
+            decay: 0.7,
+        },
         target_volume,
         churn_ops: ops,
         seed,

@@ -47,7 +47,10 @@ impl Extent {
     /// The extent shifted so it starts at `offset` (same length).
     #[inline]
     pub fn at(&self, offset: u64) -> Extent {
-        Extent { offset, len: self.len }
+        Extent {
+            offset,
+            len: self.len,
+        }
     }
 
     /// Number of shared cells between the two extents.

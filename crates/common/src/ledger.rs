@@ -142,7 +142,11 @@ impl Ledger {
 
     /// Largest volume moved by a single request.
     pub fn max_op_moved_volume(&self) -> u64 {
-        self.records.iter().map(|r| r.moved_volume()).max().unwrap_or(0)
+        self.records
+            .iter()
+            .map(|r| r.moved_volume())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total volume moved across the run.
@@ -179,7 +183,11 @@ impl Ledger {
 
     /// Largest number of checkpoint barriers in a single request.
     pub fn max_op_checkpoints(&self) -> u32 {
-        self.records.iter().map(|r| r.checkpoints).max().unwrap_or(0)
+        self.records
+            .iter()
+            .map(|r| r.checkpoints)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total checkpoint barriers across the run.
@@ -189,7 +197,10 @@ impl Ledger {
 
     /// Number of requests that flushed (moved at least one object).
     pub fn requests_with_moves(&self) -> usize {
-        self.records.iter().filter(|r| !r.moved_sizes.is_empty()).count()
+        self.records
+            .iter()
+            .filter(|r| !r.moved_sizes.is_empty())
+            .count()
     }
 
     /// Max over requests of `moved_volume / (pump_rate·w + ∆)` — 1.0 or
@@ -225,17 +236,46 @@ mod tests {
         for _ in 0..checkpoints {
             ops.push(StorageOp::CheckpointBarrier);
         }
-        Outcome { ops, flushed: !moves.is_empty(), peak_structure_size: peak, checkpoints }
+        Outcome {
+            ops,
+            flushed: !moves.is_empty(),
+            peak_structure_size: peak,
+            checkpoints,
+        }
     }
 
     fn sample_ledger() -> Ledger {
         let mut ledger = Ledger::new();
         // insert of size 4, no moves
-        ledger.record(OpKind::Insert, 4, Some(4), &outcome_with_moves(&[], 0, 4), 4, 4, 4);
+        ledger.record(
+            OpKind::Insert,
+            4,
+            Some(4),
+            &outcome_with_moves(&[], 0, 4),
+            4,
+            4,
+            4,
+        );
         // insert of size 8 that flushed, moving a 4 and an 8
-        ledger.record(OpKind::Insert, 8, Some(8), &outcome_with_moves(&[4, 8], 2, 20), 13, 12, 8);
+        ledger.record(
+            OpKind::Insert,
+            8,
+            Some(8),
+            &outcome_with_moves(&[4, 8], 2, 20),
+            13,
+            12,
+            8,
+        );
         // delete, no moves
-        ledger.record(OpKind::Delete, 8, None, &outcome_with_moves(&[], 0, 13), 13, 8, 8);
+        ledger.record(
+            OpKind::Delete,
+            8,
+            None,
+            &outcome_with_moves(&[], 0, 13),
+            13,
+            8,
+            8,
+        );
         ledger
     }
 

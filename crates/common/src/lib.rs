@@ -24,7 +24,22 @@ pub mod realloc;
 pub use extent::Extent;
 pub use ledger::{Ledger, OpKind, OpRecord};
 pub use ops::{Outcome, StorageOp};
-pub use realloc::{ReallocError, Reallocator};
+pub use realloc::{BoxedReallocator, ReallocError, Reallocator};
+
+// The serving layer (`realloc-engine`) moves outcomes, ledgers, and boxed
+// reallocators across threads; keep the vocabulary types `Send` by
+// construction (a non-`Send` field added to any of these fails to compile
+// here, not deep inside the engine).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ObjectId>();
+    assert_send::<Extent>();
+    assert_send::<StorageOp>();
+    assert_send::<Outcome>();
+    assert_send::<Ledger>();
+    assert_send::<OpRecord>();
+    assert_send::<ReallocError>();
+};
 
 /// The immutable name of a stored object.
 ///

@@ -125,10 +125,24 @@ mod tests {
     fn moved_volume_counts_only_moves() {
         let out = Outcome {
             ops: vec![
-                StorageOp::Allocate { id: ObjectId(1), to: ext(0, 4) },
-                StorageOp::Move { id: ObjectId(2), from: ext(10, 6), to: ext(4, 6) },
-                StorageOp::Move { id: ObjectId(3), from: ext(20, 2), to: ext(10, 2) },
-                StorageOp::Free { id: ObjectId(4), at: ext(30, 9) },
+                StorageOp::Allocate {
+                    id: ObjectId(1),
+                    to: ext(0, 4),
+                },
+                StorageOp::Move {
+                    id: ObjectId(2),
+                    from: ext(10, 6),
+                    to: ext(4, 6),
+                },
+                StorageOp::Move {
+                    id: ObjectId(3),
+                    from: ext(20, 2),
+                    to: ext(10, 2),
+                },
+                StorageOp::Free {
+                    id: ObjectId(4),
+                    at: ext(30, 9),
+                },
                 StorageOp::CheckpointBarrier,
             ],
             ..Outcome::default()
@@ -142,8 +156,15 @@ mod tests {
     fn placement_takes_last_touch() {
         let out = Outcome {
             ops: vec![
-                StorageOp::Allocate { id: ObjectId(1), to: ext(100, 4) },
-                StorageOp::Move { id: ObjectId(1), from: ext(100, 4), to: ext(0, 4) },
+                StorageOp::Allocate {
+                    id: ObjectId(1),
+                    to: ext(100, 4),
+                },
+                StorageOp::Move {
+                    id: ObjectId(1),
+                    from: ext(100, 4),
+                    to: ext(0, 4),
+                },
             ],
             ..Outcome::default()
         };
@@ -153,8 +174,22 @@ mod tests {
 
     #[test]
     fn cells_written() {
-        assert_eq!(StorageOp::Allocate { id: ObjectId(1), to: ext(0, 7) }.cells_written(), 7);
-        assert_eq!(StorageOp::Free { id: ObjectId(1), at: ext(0, 7) }.cells_written(), 0);
+        assert_eq!(
+            StorageOp::Allocate {
+                id: ObjectId(1),
+                to: ext(0, 7)
+            }
+            .cells_written(),
+            7
+        );
+        assert_eq!(
+            StorageOp::Free {
+                id: ObjectId(1),
+                at: ext(0, 7)
+            }
+            .cells_written(),
+            0
+        );
         assert_eq!(StorageOp::CheckpointBarrier.cells_written(), 0);
     }
 }

@@ -33,6 +33,13 @@ impl std::error::Error for ReallocError {}
 /// move objects) to classical memory allocators (which never do). Drivers
 /// treat them uniformly: feed requests, replay the returned [`Outcome`] ops
 /// against a substrate, and account costs in a ledger.
+///
+/// The trait itself carries no `Send` bound (single-threaded drivers should
+/// not pay for one), but every implementor in this workspace is `Send` —
+/// plain owned data, no interior pointers — so the sharded serving layer
+/// can move `Box<dyn Reallocator + Send>` (see [`BoxedReallocator`]) onto
+/// worker threads. Keep new implementors `Send`; the algorithm crates
+/// enforce this with compile-time assertions.
 pub trait Reallocator {
     /// Serve `〈INSERTOBJECT, id, size〉`.
     fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError>;
@@ -79,6 +86,10 @@ pub trait Reallocator {
     fn live_count(&self) -> usize;
 }
 
+/// A boxed reallocator that can be handed to another thread — the unit of
+/// ownership a sharded serving layer gives each worker.
+pub type BoxedReallocator = Box<dyn Reallocator + Send>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +100,13 @@ mod tests {
             ReallocError::DuplicateId(ObjectId(3)).to_string(),
             "obj#3 is already active"
         );
-        assert_eq!(ReallocError::UnknownId(ObjectId(4)).to_string(), "obj#4 is not active");
-        assert_eq!(ReallocError::ZeroSize.to_string(), "objects must have positive length");
+        assert_eq!(
+            ReallocError::UnknownId(ObjectId(4)).to_string(),
+            "obj#4 is not active"
+        );
+        assert_eq!(
+            ReallocError::ZeroSize.to_string(),
+            "objects must have positive length"
+        );
     }
 }

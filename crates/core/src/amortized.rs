@@ -5,9 +5,7 @@
 //! flush — and therefore reallocate — every active object, but each object
 //! is charged only `O((1/ε) log(1/ε))` moves over its lifetime.
 
-use realloc_common::{
-    size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
-};
+use realloc_common::{size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp};
 
 use crate::layout::{BufKind, Eps, Layout, RegionView};
 use crate::plan::{apply_final_state, gather, plan_amortized};
@@ -42,7 +40,10 @@ impl CostObliviousReallocator {
 
     /// Creates a reallocator from a pre-built (possibly ablated) [`Eps`].
     pub fn with_eps(eps: Eps) -> Self {
-        CostObliviousReallocator { layout: Layout::new(eps), flushes: 0 }
+        CostObliviousReallocator {
+            layout: Layout::new(eps),
+            flushes: 0,
+        }
     }
 
     /// The footprint parameter.
@@ -80,7 +81,10 @@ impl CostObliviousReallocator {
         self.layout.attach_payload(id, size, class, offset);
         let end = self.layout.regions_end();
         Outcome {
-            ops: vec![StorageOp::Allocate { id, to: Extent::new(offset, size) }],
+            ops: vec![StorageOp::Allocate {
+                id,
+                to: Extent::new(offset, size),
+            }],
             flushed: false,
             peak_structure_size: end,
             checkpoints: 0,
@@ -94,10 +98,12 @@ impl CostObliviousReallocator {
         let inputs = gather(&self.layout, b, &[]);
         let plan = plan_amortized(&inputs, trigger);
 
-        let mut ops: Vec<StorageOp> =
-            plan.phases.iter().flatten().map(|m| m.op()).collect();
+        let mut ops: Vec<StorageOp> = plan.phases.iter().flatten().map(|m| m.op()).collect();
         if let Some(t) = plan.trigger_final {
-            ops.push(StorageOp::Allocate { id: t.id, to: Extent::new(t.offset, t.size) });
+            ops.push(StorageOp::Allocate {
+                id: t.id,
+                to: Extent::new(t.offset, t.size),
+            });
         }
         apply_final_state(&mut self.layout, &plan);
         self.flushes += 1;
@@ -127,10 +133,15 @@ impl Reallocator for CostObliviousReallocator {
             return Ok(self.insert_new_largest_class(id, size, class));
         }
         if let Some(j) = self.layout.find_buffer(class, size) {
-            let offset = self.layout.push_buffer_entry(j, size, class, BufKind::Obj(id));
+            let offset = self
+                .layout
+                .push_buffer_entry(j, size, class, BufKind::Obj(id));
             self.layout.attach_buffered(id, size, class, j, offset);
             return Ok(Outcome {
-                ops: vec![StorageOp::Allocate { id, to: Extent::new(offset, size) }],
+                ops: vec![StorageOp::Allocate {
+                    id,
+                    to: Extent::new(offset, size),
+                }],
                 flushed: false,
                 peak_structure_size: self.layout.regions_end(),
                 checkpoints: 0,
@@ -145,14 +156,18 @@ impl Reallocator for CostObliviousReallocator {
             .detach_object(id)
             .ok_or(ReallocError::UnknownId(id))?;
         self.layout.account_delete(entry.size, entry.class);
-        let free_op = StorageOp::Free { id, at: entry.extent() };
+        let free_op = StorageOp::Free {
+            id,
+            at: entry.extent(),
+        };
 
         // An object deleted from a buffer becomes its own dummy record; a
         // payload delete must charge a dummy record to some buffer.
         let needs_dummy = matches!(entry.place, crate::layout::Place::Payload);
         if needs_dummy {
             if let Some(j) = self.layout.find_buffer(entry.class, entry.size) {
-                self.layout.push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
+                self.layout
+                    .push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
             } else {
                 let mut outcome = self.flush(None, entry.class);
                 outcome.ops.insert(0, free_op);
@@ -293,7 +308,11 @@ mod tests {
         let out = r.delete(id(2)).unwrap();
         assert_eq!(out.ops.len(), 1);
         assert!(matches!(out.ops[0], StorageOp::Free { .. }));
-        assert_eq!(r.region_views()[9].buffer_used, used_before, "tombstone keeps space");
+        assert_eq!(
+            r.region_views()[9].buffer_used,
+            used_before,
+            "tombstone keeps space"
+        );
         r.validate().unwrap();
     }
 
@@ -308,7 +327,10 @@ mod tests {
         // Object 1 went straight to payload 9 (first of its class), so its
         // delete must charge a 600-cell dummy record to a buffer — or flush
         // if nothing fits (600 > the buffer, so a flush resets to 0).
-        assert!(after > before || after == 0, "before {before}, after {after}");
+        assert!(
+            after > before || after == 0,
+            "before {before}, after {after}"
+        );
     }
 
     #[test]

@@ -16,9 +16,7 @@
 //! above mechanically — the integration tests do exactly that, including
 //! crash/recovery at arbitrary points.
 
-use realloc_common::{
-    size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
-};
+use realloc_common::{size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp};
 
 use crate::layout::{BufKind, Eps, Layout, RegionView};
 use crate::plan::{apply_final_state, gather, plan_checkpointed};
@@ -44,7 +42,11 @@ impl CheckpointedReallocator {
 
     /// Creates a reallocator from a pre-built (possibly ablated) [`Eps`].
     pub fn with_eps(eps: Eps) -> Self {
-        CheckpointedReallocator { layout: Layout::new(eps), flushes: 0, total_checkpoints: 0 }
+        CheckpointedReallocator {
+            layout: Layout::new(eps),
+            flushes: 0,
+            total_checkpoints: 0,
+        }
     }
 
     /// The footprint parameter.
@@ -81,7 +83,10 @@ impl CheckpointedReallocator {
         };
         self.layout.attach_payload(id, size, class, offset);
         Outcome {
-            ops: vec![StorageOp::Allocate { id, to: Extent::new(offset, size) }],
+            ops: vec![StorageOp::Allocate {
+                id,
+                to: Extent::new(offset, size),
+            }],
             flushed: false,
             peak_structure_size: self.layout.regions_end(),
             checkpoints: 0,
@@ -106,7 +111,10 @@ impl CheckpointedReallocator {
             let last = self.layout.class_count() as u32 - 1;
             let at =
                 self.layout.buffer_start(last) + self.layout.regions[last as usize].buffer_used;
-            ops.push(StorageOp::Allocate { id, to: Extent::new(at, size) });
+            ops.push(StorageOp::Allocate {
+                id,
+                to: Extent::new(at, size),
+            });
             (id, size, class, at)
         });
 
@@ -152,10 +160,15 @@ impl Reallocator for CheckpointedReallocator {
             return Ok(self.insert_new_largest_class(id, size, class));
         }
         if let Some(j) = self.layout.find_buffer(class, size) {
-            let offset = self.layout.push_buffer_entry(j, size, class, BufKind::Obj(id));
+            let offset = self
+                .layout
+                .push_buffer_entry(j, size, class, BufKind::Obj(id));
             self.layout.attach_buffered(id, size, class, j, offset);
             return Ok(Outcome {
-                ops: vec![StorageOp::Allocate { id, to: Extent::new(offset, size) }],
+                ops: vec![StorageOp::Allocate {
+                    id,
+                    to: Extent::new(offset, size),
+                }],
                 flushed: false,
                 peak_structure_size: self.layout.regions_end(),
                 checkpoints: 0,
@@ -170,12 +183,16 @@ impl Reallocator for CheckpointedReallocator {
             .detach_object(id)
             .ok_or(ReallocError::UnknownId(id))?;
         self.layout.account_delete(entry.size, entry.class);
-        let free_op = StorageOp::Free { id, at: entry.extent() };
+        let free_op = StorageOp::Free {
+            id,
+            at: entry.extent(),
+        };
 
         let needs_dummy = matches!(entry.place, crate::layout::Place::Payload);
         if needs_dummy {
             if let Some(j) = self.layout.find_buffer(entry.class, entry.size) {
-                self.layout.push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
+                self.layout
+                    .push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
             } else {
                 // §3.2: the flush triggers without using space for the dummy.
                 return Ok(self.flush(None, entry.class, vec![free_op]));
@@ -265,9 +282,15 @@ mod tests {
             }
             assert!(n < 100);
         };
-        assert!(out.checkpoints >= 1, "flush must block on at least one checkpoint");
+        assert!(
+            out.checkpoints >= 1,
+            "flush must block on at least one checkpoint"
+        );
         assert_eq!(
-            out.ops.iter().filter(|o| matches!(o, StorageOp::CheckpointBarrier)).count(),
+            out.ops
+                .iter()
+                .filter(|o| matches!(o, StorageOp::CheckpointBarrier))
+                .count(),
             out.checkpoints as usize
         );
         r.validate().unwrap();
@@ -363,7 +386,10 @@ mod tests {
             r.validate().unwrap();
             if out.flushed {
                 flush_seen = true;
-                assert!(!out.ops.iter().any(|o| matches!(o, StorageOp::Allocate { .. })));
+                assert!(!out
+                    .ops
+                    .iter()
+                    .any(|o| matches!(o, StorageOp::Allocate { .. })));
                 break;
             }
         }

@@ -30,9 +30,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use realloc_common::{
-    size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
-};
+use realloc_common::{size_class, Extent, ObjectId, Outcome, ReallocError, Reallocator, StorageOp};
 
 use crate::layout::{BufEntry, BufKind, Eps, Layout, Place, RegionView};
 use crate::plan::{apply_final_state, gather, plan_checkpointed, FlushObj, FlushPlan};
@@ -54,16 +52,24 @@ impl Tail {
 
     fn push(&mut self, size: u64, class: u32, kind: BufKind) -> u64 {
         let offset = self.start + self.used;
-        self.entries.push(BufEntry { offset, size, class, kind });
+        self.entries.push(BufEntry {
+            offset,
+            size,
+            class,
+            kind,
+        });
         self.used += size;
         offset
     }
 
     fn live_objects(&self) -> impl Iterator<Item = FlushObj> + '_ {
         self.entries.iter().filter_map(|e| match e.kind {
-            BufKind::Obj(id) => {
-                Some(FlushObj { id, size: e.size, class: e.class, offset: e.offset })
-            }
+            BufKind::Obj(id) => Some(FlushObj {
+                id,
+                size: e.size,
+                class: e.class,
+                offset: e.offset,
+            }),
             BufKind::Tombstone => None,
         })
     }
@@ -279,15 +285,20 @@ impl DeamortizedReallocator {
         }
         let b = self.layout.boundary_class(min0);
 
-        let extra_buffered: Vec<FlushObj> =
-            self.tail.live_objects().chain(extra_log_inserts.iter().copied()).collect();
+        let extra_buffered: Vec<FlushObj> = self
+            .tail
+            .live_objects()
+            .chain(extra_log_inserts.iter().copied())
+            .collect();
 
         let mut inputs = gather(&self.layout, b, &extra_buffered);
         // Staging must clear the tail and any old log cells (freed-space
         // rule; see module docs).
-        inputs.old_end = inputs.old_end.max(self.layout.regions_end() + self.tail.capacity).max(floor_end);
-        let plan =
-            plan_checkpointed(&inputs, trigger, self.tail.capacity, self.layout.delta());
+        inputs.old_end = inputs
+            .old_end
+            .max(self.layout.regions_end() + self.tail.capacity)
+            .max(floor_end);
+        let plan = plan_checkpointed(&inputs, trigger, self.tail.capacity, self.layout.delta());
 
         self.vf = self.layout.live_volume();
         let log_cursor = plan.peak; // log cells begin past all working space
@@ -314,7 +325,9 @@ impl DeamortizedReallocator {
     fn pump(&mut self, mut quota: u64, ops: &mut Vec<StorageOp>) -> u32 {
         let mut checkpoints = 0u32;
         loop {
-            let Some(job) = self.job.as_mut() else { return checkpoints };
+            let Some(job) = self.job.as_mut() else {
+                return checkpoints;
+            };
 
             // --- Phase moves ---
             while !job.phases_done() {
@@ -349,9 +362,7 @@ impl DeamortizedReallocator {
                 let pending = job.pending.clone();
                 apply_final_state(&mut self.layout, &plan);
                 for id in &pending {
-                    if let Some(e) = self.layout.index.get_mut(id) {
-                        e.pending_delete = true;
-                    }
+                    self.layout.mark_pending_delete(*id);
                 }
                 self.tail.start = self.layout.regions_end();
                 self.tail.capacity = self.layout.eps().buffer_quota(self.vf);
@@ -451,14 +462,22 @@ impl DeamortizedReallocator {
         // have a delete queued behind its own insert in the log).
         let pending = self.layout.index.get(&id).is_some_and(|e| e.pending_delete);
         if let Some(j) = self.layout.find_buffer(class, size) {
-            let offset = self.layout.push_buffer_entry(j, size, class, BufKind::Obj(id));
+            let offset = self
+                .layout
+                .push_buffer_entry(j, size, class, BufKind::Obj(id));
             self.layout.attach_buffered(id, size, class, j, offset);
-            self.layout.index.get_mut(&id).expect("just attached").pending_delete = pending;
-            ops.push(StorageOp::Move { id, from, to: Extent::new(offset, size) });
+            if pending {
+                self.layout.mark_pending_delete(id);
+            }
+            ops.push(StorageOp::Move {
+                id,
+                from,
+                to: Extent::new(offset, size),
+            });
             true
         } else if self.tail.free() >= size {
             let offset = self.tail.push(size, class, BufKind::Obj(id));
-            self.layout.index.insert(
+            self.layout.insert_entry(
                 id,
                 crate::layout::Entry {
                     size,
@@ -468,7 +487,11 @@ impl DeamortizedReallocator {
                     pending_delete: pending,
                 },
             );
-            ops.push(StorageOp::Move { id, from, to: Extent::new(offset, size) });
+            ops.push(StorageOp::Move {
+                id,
+                from,
+                to: Extent::new(offset, size),
+            });
             true
         } else {
             false
@@ -483,7 +506,11 @@ impl DeamortizedReallocator {
         ops: &mut Vec<StorageOp>,
         chain: &mut Option<(ObjectId, u32)>,
     ) {
-        let entry = *self.layout.index.get(&id).expect("pending object is active");
+        let entry = *self
+            .layout
+            .index
+            .get(&id)
+            .expect("pending object is active");
         match entry.place {
             Place::Payload | Place::Buffer(_) => {
                 self.layout.detach_object(id);
@@ -496,11 +523,15 @@ impl DeamortizedReallocator {
                 unreachable!("drain order: inserts drain before their deletes")
             }
         }
-        ops.push(StorageOp::Free { id, at: entry.extent() });
+        ops.push(StorageOp::Free {
+            id,
+            at: entry.extent(),
+        });
         if matches!(entry.place, Place::Payload) {
             // Dummy record; volume was already un-accounted at request time.
             if let Some(j) = self.layout.find_buffer(entry.class, entry.size) {
-                self.layout.push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
+                self.layout
+                    .push_buffer_entry(j, entry.size, entry.class, BufKind::Tombstone);
             } else if self.tail.free() >= entry.size {
                 self.tail.push(entry.size, entry.class, BufKind::Tombstone);
             } else {
@@ -531,7 +562,7 @@ impl Reallocator for DeamortizedReallocator {
             job.log_cursor += size;
             job.log_hwm = job.log_hwm.max(job.log_cursor);
             job.log.push_back(LogEntry::Insert { id, size, class });
-            self.layout.index.insert(
+            self.layout.insert_entry(
                 id,
                 crate::layout::Entry {
                     size,
@@ -541,16 +572,24 @@ impl Reallocator for DeamortizedReallocator {
                     pending_delete: false,
                 },
             );
-            ops.push(StorageOp::Allocate { id, to: Extent::new(at, size) });
+            ops.push(StorageOp::Allocate {
+                id,
+                to: Extent::new(at, size),
+            });
             checkpoints += self.pump(self.layout.eps().pump_quota(size), &mut ops);
             flushed = true;
         } else if let Some(j) = self.layout.find_buffer(class, size) {
-            let offset = self.layout.push_buffer_entry(j, size, class, BufKind::Obj(id));
+            let offset = self
+                .layout
+                .push_buffer_entry(j, size, class, BufKind::Obj(id));
             self.layout.attach_buffered(id, size, class, j, offset);
-            ops.push(StorageOp::Allocate { id, to: Extent::new(offset, size) });
+            ops.push(StorageOp::Allocate {
+                id,
+                to: Extent::new(offset, size),
+            });
         } else if self.tail.free() >= size {
             let offset = self.tail.push(size, class, BufKind::Obj(id));
-            self.layout.index.insert(
+            self.layout.insert_entry(
                 id,
                 crate::layout::Entry {
                     size,
@@ -560,12 +599,18 @@ impl Reallocator for DeamortizedReallocator {
                     pending_delete: false,
                 },
             );
-            ops.push(StorageOp::Allocate { id, to: Extent::new(offset, size) });
+            ops.push(StorageOp::Allocate {
+                id,
+                to: Extent::new(offset, size),
+            });
         } else {
             // Tail full: place past all used space and trigger the flush.
             let at = self.tail.start + self.tail.used;
-            ops.push(StorageOp::Allocate { id, to: Extent::new(at, size) });
-            self.layout.index.insert(
+            ops.push(StorageOp::Allocate {
+                id,
+                to: Extent::new(at, size),
+            });
+            self.layout.insert_entry(
                 id,
                 crate::layout::Entry {
                     size,
@@ -610,7 +655,7 @@ impl Reallocator for DeamortizedReallocator {
         if self.job.is_some() {
             // Mid-flush: log the delete (volume-free record), mark pending —
             // the object stays active until drained — and pump.
-            self.layout.index.get_mut(&id).expect("checked").pending_delete = true;
+            self.layout.mark_pending_delete(id);
             let job = self.job.as_mut().expect("checked");
             job.log.push_back(LogEntry::Delete { id });
             job.pending.insert(id);
@@ -620,7 +665,10 @@ impl Reallocator for DeamortizedReallocator {
             match entry.place {
                 Place::Payload => {
                     self.layout.detach_object(id);
-                    ops.push(StorageOp::Free { id, at: entry.extent() });
+                    ops.push(StorageOp::Free {
+                        id,
+                        at: entry.extent(),
+                    });
                     if let Some(j) = self.layout.find_buffer(entry.class, entry.size) {
                         self.layout.push_buffer_entry(
                             j,
@@ -647,12 +695,18 @@ impl Reallocator for DeamortizedReallocator {
                 }
                 Place::Buffer(_) => {
                     self.layout.detach_object(id);
-                    ops.push(StorageOp::Free { id, at: entry.extent() });
+                    ops.push(StorageOp::Free {
+                        id,
+                        at: entry.extent(),
+                    });
                 }
                 Place::Tail => {
                     self.layout.index.remove(&id);
                     self.tail.tombstone(entry.offset);
-                    ops.push(StorageOp::Free { id, at: entry.extent() });
+                    ops.push(StorageOp::Free {
+                        id,
+                        at: entry.extent(),
+                    });
                 }
                 Place::Staging | Place::Log => unreachable!("no job active"),
             }
@@ -919,7 +973,10 @@ mod tests {
     fn duplicate_and_unknown_rejected() {
         let mut r = DeamortizedReallocator::new(0.5);
         r.insert(id(1), 10).unwrap();
-        assert!(matches!(r.insert(id(1), 5), Err(ReallocError::DuplicateId(_))));
+        assert!(matches!(
+            r.insert(id(1), 5),
+            Err(ReallocError::DuplicateId(_))
+        ));
         assert!(matches!(r.delete(id(9)), Err(ReallocError::UnknownId(_))));
         assert!(matches!(r.insert(id(2), 0), Err(ReallocError::ZeroSize)));
     }

@@ -85,7 +85,10 @@ impl std::fmt::Display for DefragError {
             DefragError::OverlappingInput(a, b) => write!(f, "{a} and {b} overlap"),
             DefragError::ZeroSize(id) => write!(f, "{id} has zero length"),
             DefragError::InputTooSparse { used, budget } => {
-                write!(f, "input uses {used} cells, more than the (1+ε)V = {budget} budget")
+                write!(
+                    f,
+                    "input uses {used} cells, more than the (1+ε)V = {budget} budget"
+                )
             }
             DefragError::DuplicateId(id) => write!(f, "{id} appears twice"),
         }
@@ -117,18 +120,17 @@ where
     let scratch = Extent::new(budget, delta);
 
     let mut ops: Vec<StorageOp> = Vec::new();
-    let mut pos: HashMap<ObjectId, Extent> =
-        objects.iter().map(|&(id, e)| (id, e)).collect();
+    let mut pos: HashMap<ObjectId, Extent> = objects.iter().map(|&(id, e)| (id, e)).collect();
     let mut moves: HashMap<ObjectId, usize> = HashMap::new();
     let mut peak = used;
     let mut collision = false;
 
     let emit_move = |ops: &mut Vec<StorageOp>,
-                         pos: &mut HashMap<ObjectId, Extent>,
-                         moves: &mut HashMap<ObjectId, usize>,
-                         peak: &mut u64,
-                         id: ObjectId,
-                         to: Extent| {
+                     pos: &mut HashMap<ObjectId, Extent>,
+                     moves: &mut HashMap<ObjectId, usize>,
+                     peak: &mut u64,
+                     id: ObjectId,
+                     to: Extent| {
         let from = pos[&id];
         if from == to {
             return;
@@ -150,7 +152,14 @@ where
         let target = Extent::new(cursor - size, size);
         if pos[&id].overlaps(&target) && pos[&id] != target {
             // Nonoverlap via the scratch area: two moves.
-            emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+            emit_move(
+                &mut ops,
+                &mut pos,
+                &mut moves,
+                &mut peak,
+                id,
+                scratch.at_len(size),
+            );
         }
         emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, target);
         cursor = target.offset;
@@ -162,7 +171,14 @@ where
     let mut suffix_start = cursor;
     while let Some(id) = suffix.pop_front() {
         let size = pos[&id].len;
-        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+        emit_move(
+            &mut ops,
+            &mut pos,
+            &mut moves,
+            &mut peak,
+            id,
+            scratch.at_len(size),
+        );
         suffix_start += size;
         let outcome = inner.insert(id, size).expect("fresh id");
         // Translate the inner Allocate into a physical move from scratch;
@@ -196,7 +212,14 @@ where
         // may compact over its old cells, and its final slot only becomes
         // safely free *after* the prefix shrinks below `slot.offset`
         // (the paper's (1+ε)W ≤ εV + W argument applies post-delete).
-        emit_move(&mut ops, &mut pos, &mut moves, &mut peak, id, scratch.at_len(size));
+        emit_move(
+            &mut ops,
+            &mut pos,
+            &mut moves,
+            &mut peak,
+            id,
+            scratch.at_len(size),
+        );
         let outcome = inner.delete(id).expect("still inside");
         for op in outcome.ops {
             match op {
@@ -314,7 +337,11 @@ mod tests {
         let report = defragment(&objects, 0.5, |a, b| sizes[&a].cmp(&sizes[&b])).unwrap();
 
         assert!(!report.prefix_suffix_collision);
-        assert!(report.peak_space <= report.budget + delta, "peak {}", report.peak_space);
+        assert!(
+            report.peak_space <= report.budget + delta,
+            "peak {}",
+            report.peak_space
+        );
         // Final layout is sorted ascending and contiguous at the right end.
         let final_pos = replay(&objects, &report.ops);
         let mut prev_size = 0;
@@ -373,7 +400,10 @@ mod tests {
         let sizes: Vec<u64> = (0..80).map(|i| 1 + (i * 3) % 16).collect();
         let objects = fragmented(&sizes, 1);
         let report = defragment(&objects, 0.125, |a, b| a.0.cmp(&b.0)).unwrap();
-        assert!(!report.prefix_suffix_collision, "prefix hit suffix at ε=1/8");
+        assert!(
+            !report.prefix_suffix_collision,
+            "prefix hit suffix at ε=1/8"
+        );
         let delta = sizes.iter().copied().max().unwrap();
         assert!(report.peak_space <= report.budget + delta);
         replay(&objects, &report.ops);

@@ -26,8 +26,15 @@ pub struct Eps {
 impl Eps {
     /// Creates the parameter; the paper requires `0 < ε ≤ 1/2`.
     pub fn new(eps: f64) -> Self {
-        assert!(eps > 0.0 && eps <= 0.5, "the paper requires 0 < ε ≤ 1/2, got {eps}");
-        Eps { eps, prime: eps / 3.0, pump_factor: 4.0 }
+        assert!(
+            eps > 0.0 && eps <= 0.5,
+            "the paper requires 0 < ε ≤ 1/2, got {eps}"
+        );
+        Eps {
+            eps,
+            prime: eps / 3.0,
+            pump_factor: 4.0,
+        }
     }
 
     /// Ablation constructor: overrides the internal buffer fraction `ε′`
@@ -35,10 +42,17 @@ impl Eps {
     /// of `ε′` above `ε/3` trade footprint for fewer/cheaper flushes; the
     /// `(1+ε)` footprint guarantee only holds for `ε′ ≤ ε/(2+ε)`.
     pub fn custom(eps: f64, prime: f64, pump_factor: f64) -> Self {
-        assert!(eps > 0.0 && eps <= 0.5, "the paper requires 0 < ε ≤ 1/2, got {eps}");
+        assert!(
+            eps > 0.0 && eps <= 0.5,
+            "the paper requires 0 < ε ≤ 1/2, got {eps}"
+        );
         assert!(prime > 0.0 && prime < 1.0, "ε′ must be in (0, 1)");
         assert!(pump_factor >= 1.0, "pump factor must be ≥ 1");
-        Eps { eps, prime, pump_factor }
+        Eps {
+            eps,
+            prime,
+            pump_factor,
+        }
     }
 
     /// The footprint slack `ε`.
@@ -191,6 +205,11 @@ pub struct Layout {
     pub(crate) class_volume: Vec<u64>,
     /// Σ class_volume.
     pub(crate) volume: u64,
+    /// Σ size over pending-delete entries, maintained incrementally so
+    /// `live_volume` is O(1) — the serving layer and every ledgered driver
+    /// query it once per request, and a scan over the index there turns
+    /// each request into O(live objects).
+    pub(crate) pending_volume: u64,
     /// `∆`: largest object size ever inserted.
     pub(crate) delta: u64,
 }
@@ -204,6 +223,7 @@ impl Layout {
             index: HashMap::new(),
             class_volume: Vec::new(),
             volume: 0,
+            pending_volume: 0,
             delta: 0,
         }
     }
@@ -236,18 +256,17 @@ impl Layout {
     /// End of the last *object* (the paper's footprint; `<= regions_end()`
     /// except for transient mid-flush placements).
     pub fn last_object_end(&self) -> u64 {
-        self.index.values().map(|e| e.extent().end()).max().unwrap_or(0)
+        self.index
+            .values()
+            .map(|e| e.extent().end())
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Live volume (active objects, pending deletes included).
+    /// Live volume (active objects, pending deletes included). O(1): the
+    /// pending share is tracked incrementally, not recomputed by scanning.
     pub fn live_volume(&self) -> u64 {
-        self.volume
-            + self
-                .index
-                .values()
-                .filter(|e| e.pending_delete)
-                .map(|e| e.size)
-                .sum::<u64>()
+        self.volume + self.pending_volume
     }
 
     /// Volume excluding pending deletes (drives flush sizing).
@@ -323,17 +342,27 @@ impl Layout {
     /// Earliest region `j >= class` whose buffer can absorb `size` more
     /// cells (insert/dummy placement rule of §2).
     pub(crate) fn find_buffer(&self, class: u32, size: u64) -> Option<u32> {
-        (class..self.regions.len() as u32)
-            .find(|&j| self.regions[j as usize].buffer_free() >= size)
+        (class..self.regions.len() as u32).find(|&j| self.regions[j as usize].buffer_free() >= size)
     }
 
     /// Appends an entry to region `j`'s buffer, returning its offset.
     /// Callers must have verified the space via [`Self::find_buffer`], except
     /// for the checkpointed trigger placement which intentionally overflows.
-    pub(crate) fn push_buffer_entry(&mut self, j: u32, size: u64, class: u32, kind: BufKind) -> u64 {
+    pub(crate) fn push_buffer_entry(
+        &mut self,
+        j: u32,
+        size: u64,
+        class: u32,
+        kind: BufKind,
+    ) -> u64 {
         let offset = self.buffer_start(j) + self.regions[j as usize].buffer_used;
         let region = &mut self.regions[j as usize];
-        region.buffer.push(BufEntry { offset, size, class, kind });
+        region.buffer.push(BufEntry {
+            offset,
+            size,
+            class,
+            kind,
+        });
         region.buffer_used += size;
         offset
     }
@@ -357,10 +386,7 @@ impl Layout {
 
     /// Live buffered objects in buffers of regions `>= b`, in (region,
     /// offset) order: the inputs to a flush's step 1.
-    pub(crate) fn buffered_objects_with_offsets(
-        &self,
-        b: u32,
-    ) -> Vec<crate::plan::FlushObj> {
+    pub(crate) fn buffered_objects_with_offsets(&self, b: u32) -> Vec<crate::plan::FlushObj> {
         let mut out = Vec::new();
         for j in b..self.regions.len() as u32 {
             for entry in &self.regions[j as usize].buffer {
@@ -394,6 +420,9 @@ impl Layout {
     /// Does not touch volume accounting.
     pub(crate) fn detach_object(&mut self, id: ObjectId) -> Option<Entry> {
         let entry = self.index.remove(&id)?;
+        if entry.pending_delete {
+            self.pending_volume -= entry.size;
+        }
         match entry.place {
             Place::Payload => {
                 let region = &mut self.regions[entry.class as usize];
@@ -419,23 +448,69 @@ impl Layout {
         Some(entry)
     }
 
+    /// Inserts (or replaces) an index entry, keeping `pending_volume`
+    /// exact: counts the new entry if marked pending and uncounts any
+    /// replaced one. Every index write goes through here or
+    /// [`Self::detach_object`] / [`Self::mark_pending_delete`].
+    pub(crate) fn insert_entry(&mut self, id: ObjectId, entry: Entry) {
+        if entry.pending_delete {
+            self.pending_volume += entry.size;
+        }
+        if let Some(old) = self.index.insert(id, entry) {
+            if old.pending_delete {
+                self.pending_volume -= old.size;
+            }
+        }
+    }
+
+    /// Marks an active object pending-delete (deamortized log semantics:
+    /// it keeps occupying space and counting as live until drained).
+    /// Idempotent; a no-op for unknown ids.
+    pub(crate) fn mark_pending_delete(&mut self, id: ObjectId) {
+        if let Some(entry) = self.index.get_mut(&id) {
+            if !entry.pending_delete {
+                entry.pending_delete = true;
+                self.pending_volume += entry.size;
+            }
+        }
+    }
+
     /// Places an object into its class's payload at `offset` and indexes it.
     pub(crate) fn attach_payload(&mut self, id: ObjectId, size: u64, class: u32, offset: u64) {
         let region = &mut self.regions[class as usize];
         region.payload.insert(offset, (id, size));
         region.payload_live += size;
-        self.index.insert(
+        self.insert_entry(
             id,
-            Entry { size, class, offset, place: Place::Payload, pending_delete: false },
+            Entry {
+                size,
+                class,
+                offset,
+                place: Place::Payload,
+                pending_delete: false,
+            },
         );
     }
 
     /// Indexes an object sitting in region `j`'s buffer at `offset` (the
     /// buffer entry itself must already exist via `push_buffer_entry`).
-    pub(crate) fn attach_buffered(&mut self, id: ObjectId, size: u64, class: u32, j: u32, offset: u64) {
-        self.index.insert(
+    pub(crate) fn attach_buffered(
+        &mut self,
+        id: ObjectId,
+        size: u64,
+        class: u32,
+        j: u32,
+        offset: u64,
+    ) {
+        self.insert_entry(
             id,
-            Entry { size, class, offset, place: Place::Buffer(j), pending_delete: false },
+            Entry {
+                size,
+                class,
+                offset,
+                place: Place::Buffer(j),
+                pending_delete: false,
+            },
         );
     }
 }
@@ -618,7 +693,10 @@ mod tests {
         let entry = l.detach_object(ObjectId(1)).unwrap();
         assert_eq!(entry.size, 6);
         assert_eq!(l.regions[k as usize].payload_live, 0);
-        assert_eq!(l.regions[k as usize].payload_space, 6, "hole: space unchanged");
+        assert_eq!(
+            l.regions[k as usize].payload_space, 6,
+            "hole: space unchanged"
+        );
         assert_eq!(l.extent_of(ObjectId(1)), None);
     }
 

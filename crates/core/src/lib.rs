@@ -53,3 +53,12 @@ pub use deamortized::DeamortizedReallocator;
 pub use defrag::{defragment, DefragReport};
 pub use layout::{Eps, RegionView};
 pub use validate::InvariantViolation;
+
+// Every paper variant must stay `Send` so the sharded serving layer
+// (`realloc-engine`) can own one per worker thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CostObliviousReallocator>();
+    assert_send::<CheckpointedReallocator>();
+    assert_send::<DeamortizedReallocator>();
+};

@@ -50,7 +50,11 @@ pub(crate) struct PlannedMove {
 
 impl PlannedMove {
     pub fn op(&self) -> StorageOp {
-        StorageOp::Move { id: self.id, from: self.from, to: self.to }
+        StorageOp::Move {
+            id: self.id,
+            from: self.from,
+            to: self.to,
+        }
     }
 }
 
@@ -106,7 +110,12 @@ pub(crate) fn gather(layout: &Layout, b: u32, extra_buffered: &[FlushObj]) -> Fl
     let survivors: Vec<FlushObj> = layout
         .survivors_from(b)
         .into_iter()
-        .map(|(id, size, class, offset)| FlushObj { id, size, class, offset })
+        .map(|(id, size, class, offset)| FlushObj {
+            id,
+            size,
+            class,
+            offset,
+        })
         .collect();
 
     let classes = layout.class_count() as u32;
@@ -118,8 +127,9 @@ pub(crate) fn gather(layout: &Layout, b: u32, extra_buffered: &[FlushObj]) -> Fl
         new_buffer.push(layout.eps().buffer_quota(v));
     }
     let s_new = new_payload.iter().sum::<u64>() + new_buffer.iter().sum::<u64>();
-    let old_buffer_space =
-        (b..classes).map(|i| layout.regions[i as usize].buffer_space).sum();
+    let old_buffer_space = (b..classes)
+        .map(|i| layout.regions[i as usize].buffer_space)
+        .sum();
 
     FlushInputs {
         b,
@@ -147,8 +157,9 @@ pub(crate) fn final_offsets(
 ) -> (Vec<u64>, Vec<u64>, Option<u64>) {
     let classes = inputs.b + inputs.new_payload.len() as u32;
     // Per-class cursors start at each payload's base.
-    let mut cursor: Vec<u64> =
-        (inputs.b..classes).map(|i| inputs.new_region_start(i)).collect();
+    let mut cursor: Vec<u64> = (inputs.b..classes)
+        .map(|i| inputs.new_region_start(i))
+        .collect();
 
     let mut survivor_finals = Vec::with_capacity(inputs.survivors.len());
     for s in &inputs.survivors {
@@ -227,7 +238,9 @@ pub(crate) fn plan_amortized(
         staged_at.push(overflow_cursor);
         overflow_cursor += o.size;
     }
-    let peak = (inputs.base + inputs.s_new).max(overflow_cursor).max(inputs.old_end);
+    let peak = (inputs.base + inputs.s_new)
+        .max(overflow_cursor)
+        .max(inputs.old_end);
 
     // Step 2: compact survivors left (ascending), removing holes.
     let mut packed = Vec::with_capacity(inputs.survivors.len());
@@ -472,7 +485,12 @@ fn collect_finals(
         .iter()
         .zip(survivor_finals)
         .chain(inputs.buffered.iter().zip(buffered_finals))
-        .map(|(o, &offset)| FinalPlacement { id: o.id, size: o.size, class: o.class, offset })
+        .map(|(o, &offset)| FinalPlacement {
+            id: o.id,
+            size: o.size,
+            class: o.class,
+            offset,
+        })
         .collect()
 }
 
@@ -508,7 +526,7 @@ mod tests {
     /// buffer 3.
     fn scenario() -> Layout {
         let mut l = Layout::new(Eps::new(0.5 * 3.0 / 3.0)); // ε=0.5, ε′=1/6
-        // class 2: objects 1 (size 4) and 2 (size 5); class 3: object 3 (size 8).
+                                                            // class 2: objects 1 (size 4) and 2 (size 5); class 3: object 3 (size 8).
         let k1 = l.account_insert(4);
         let k2 = l.account_insert(5);
         let k3 = l.account_insert(8);
@@ -591,11 +609,8 @@ mod tests {
         let l = scenario();
         let inputs = gather(&l, 2, &[]);
         let plan = plan_amortized(&inputs, None);
-        let mut pos: std::collections::HashMap<ObjectId, Extent> = l
-            .index
-            .iter()
-            .map(|(&id, e)| (id, e.extent()))
-            .collect();
+        let mut pos: std::collections::HashMap<ObjectId, Extent> =
+            l.index.iter().map(|(&id, e)| (id, e.extent())).collect();
         for m in &plan.phases[0] {
             assert_eq!(pos[&m.id], m.from, "chained from-extents must match");
             pos.insert(m.id, m.to);
@@ -615,7 +630,13 @@ mod tests {
         let plan = plan_checkpointed(&inputs, None, 0, l.delta());
         for phase in &plan.phases {
             for m in phase {
-                assert!(!m.from.overlaps(&m.to), "{:?}: {} -> {}", m.id, m.from, m.to);
+                assert!(
+                    !m.from.overlaps(&m.to),
+                    "{:?}: {} -> {}",
+                    m.id,
+                    m.from,
+                    m.to
+                );
             }
         }
     }

@@ -65,7 +65,11 @@ impl std::fmt::Display for InvariantViolation {
             InvariantViolation::OversizedBufferObject { region, class } => {
                 write!(f, "buffer {region} holds an entry of larger class {class}")
             }
-            InvariantViolation::OutOfSegment { id, extent, segment } => {
+            InvariantViolation::OutOfSegment {
+                id,
+                extent,
+                segment,
+            } => {
                 write!(f, "{id} at {extent} escapes segment {segment}")
             }
             InvariantViolation::Overlap { a, b, at } => write!(f, "{a} overlaps {b} at {at}"),
@@ -97,12 +101,19 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
         let mut payload_live = 0;
         for (&offset, &(id, size)) in &region.payload {
             let ext = Extent::new(offset, size);
-            let entry = layout.index.get(&id).ok_or_else(|| InvariantViolation::IndexMismatch {
-                id,
-                detail: "in payload but not indexed".into(),
-            })?;
+            let entry = layout
+                .index
+                .get(&id)
+                .ok_or_else(|| InvariantViolation::IndexMismatch {
+                    id,
+                    detail: "in payload but not indexed".into(),
+                })?;
             if entry.class != k {
-                return Err(InvariantViolation::ForeignPayloadObject { region: k, id, class: entry.class });
+                return Err(InvariantViolation::ForeignPayloadObject {
+                    region: k,
+                    id,
+                    class: entry.class,
+                });
             }
             if entry.place != Place::Payload || entry.offset != offset || entry.size != size {
                 return Err(InvariantViolation::IndexMismatch {
@@ -111,21 +122,31 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
                 });
             }
             if !payload_seg.contains(&ext) {
-                return Err(InvariantViolation::OutOfSegment { id, extent: ext, segment: payload_seg });
+                return Err(InvariantViolation::OutOfSegment {
+                    id,
+                    extent: ext,
+                    segment: payload_seg,
+                });
             }
             payload_live += size;
             extents.push((offset, size, id));
         }
         if payload_live != region.payload_live {
             return Err(InvariantViolation::BadAccounting {
-                detail: format!("region {k} payload_live {} != {payload_live}", region.payload_live),
+                detail: format!(
+                    "region {k} payload_live {} != {payload_live}",
+                    region.payload_live
+                ),
             });
         }
 
         let mut buffer_used = 0;
         for entry in &region.buffer {
             if entry.class > k {
-                return Err(InvariantViolation::OversizedBufferObject { region: k, class: entry.class });
+                return Err(InvariantViolation::OversizedBufferObject {
+                    region: k,
+                    class: entry.class,
+                });
             }
             let ext = Extent::new(entry.offset, entry.size);
             if !buffer_seg.contains(&ext) {
@@ -143,14 +164,24 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
             }
             buffer_used += entry.size;
             if let BufKind::Obj(id) = entry.kind {
-                let idx = layout.index.get(&id).ok_or_else(|| InvariantViolation::IndexMismatch {
-                    id,
-                    detail: "in buffer but not indexed".into(),
-                })?;
-                if idx.place != Place::Buffer(k) || idx.offset != entry.offset || idx.size != entry.size {
+                let idx =
+                    layout
+                        .index
+                        .get(&id)
+                        .ok_or_else(|| InvariantViolation::IndexMismatch {
+                            id,
+                            detail: "in buffer but not indexed".into(),
+                        })?;
+                if idx.place != Place::Buffer(k)
+                    || idx.offset != entry.offset
+                    || idx.size != entry.size
+                {
                     return Err(InvariantViolation::IndexMismatch {
                         id,
-                        detail: format!("buffer slot {ext} vs index {:?}@{}", idx.place, idx.offset),
+                        detail: format!(
+                            "buffer slot {ext} vs index {:?}@{}",
+                            idx.place, idx.offset
+                        ),
                     });
                 }
                 extents.push((entry.offset, entry.size, id));
@@ -158,7 +189,10 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
         }
         if buffer_used != region.buffer_used {
             return Err(InvariantViolation::BadAccounting {
-                detail: format!("region {k} buffer_used {} != {buffer_used}", region.buffer_used),
+                detail: format!(
+                    "region {k} buffer_used {} != {buffer_used}",
+                    region.buffer_used
+                ),
             });
         }
     }
@@ -179,9 +213,7 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
         .values()
         .filter(|e| matches!(e.place, Place::Payload | Place::Buffer(_)))
         .count();
-    if segment_indexed
-        != std::mem::replace(&mut seen_in_segments, 0)
-    {
+    if segment_indexed != std::mem::replace(&mut seen_in_segments, 0) {
         return Err(InvariantViolation::BadAccounting {
             detail: "index has payload/buffer objects the segments lack".into(),
         });
@@ -196,11 +228,30 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
     }
     if recomputed != layout.class_volume {
         return Err(InvariantViolation::BadAccounting {
-            detail: format!("class_volume {:?} != recomputed {recomputed:?}", layout.class_volume),
+            detail: format!(
+                "class_volume {:?} != recomputed {recomputed:?}",
+                layout.class_volume
+            ),
         });
     }
     if layout.volume != recomputed.iter().sum::<u64>() {
-        return Err(InvariantViolation::BadAccounting { detail: "total volume drifted".into() });
+        return Err(InvariantViolation::BadAccounting {
+            detail: "total volume drifted".into(),
+        });
+    }
+    let pending_recomputed: u64 = layout
+        .index
+        .values()
+        .filter(|e| e.pending_delete)
+        .map(|e| e.size)
+        .sum();
+    if layout.pending_volume != pending_recomputed {
+        return Err(InvariantViolation::BadAccounting {
+            detail: format!(
+                "pending_volume {} != recomputed {pending_recomputed}",
+                layout.pending_volume
+            ),
+        });
     }
 
     // Pairwise disjointness via sort-and-adjacent-check.
@@ -257,14 +308,17 @@ mod tests {
         l.attach_payload(ObjectId(1), 5, 2, 0);
         l.account_insert(5);
         l.attach_payload(ObjectId(2), 5, 2, 3);
-        assert!(matches!(check_invariants(&l), Err(InvariantViolation::Overlap { .. })));
+        assert!(matches!(
+            check_invariants(&l),
+            Err(InvariantViolation::Overlap { .. })
+        ));
     }
 
     #[test]
     fn detects_foreign_payload_object() {
         let mut l = base_layout();
         l.account_insert(2); // class 1
-        // Wrongly stuffed into payload 2.
+                             // Wrongly stuffed into payload 2.
         l.regions[2].payload.insert(0, (ObjectId(1), 2));
         l.regions[2].payload_live = 2;
         l.index.insert(
@@ -289,7 +343,10 @@ mod tests {
         l.account_insert(5);
         // Payload space is 12 at [0,12); placing at 10 escapes.
         l.attach_payload(ObjectId(1), 5, 2, 10);
-        assert!(matches!(check_invariants(&l), Err(InvariantViolation::OutOfSegment { .. })));
+        assert!(matches!(
+            check_invariants(&l),
+            Err(InvariantViolation::OutOfSegment { .. })
+        ));
     }
 
     #[test]
@@ -298,7 +355,10 @@ mod tests {
         l.account_insert(5);
         l.attach_payload(ObjectId(1), 5, 2, 0);
         l.class_volume[2] = 99;
-        assert!(matches!(check_invariants(&l), Err(InvariantViolation::BadAccounting { .. })));
+        assert!(matches!(
+            check_invariants(&l),
+            Err(InvariantViolation::BadAccounting { .. })
+        ));
     }
 
     #[test]

@@ -40,7 +40,12 @@ const TOL: f64 = 1e-9;
 /// * Subadditivity is checked on all pairs from a mixed grid of `grid_pts`
 ///   small values and the doubling ladder — `O((grid_pts + log max)²)`
 ///   pairs.
-pub fn check_membership(f: &dyn CostFn, max_size: u64, dense_upto: u64, grid_pts: u64) -> MembershipReport {
+pub fn check_membership(
+    f: &dyn CostFn,
+    max_size: u64,
+    dense_upto: u64,
+    grid_pts: u64,
+) -> MembershipReport {
     let mut report = MembershipReport {
         subadditivity_violation: None,
         monotonicity_violation: None,
@@ -90,7 +95,9 @@ pub fn check_membership(f: &dyn CostFn, max_size: u64, dense_upto: u64, grid_pts
     grid.dedup();
     'outer: for (i, &a) in grid.iter().enumerate() {
         for &b in &grid[i..] {
-            let Some(sum) = a.checked_add(b) else { continue };
+            let Some(sum) = a.checked_add(b) else {
+                continue;
+            };
             if sum > max_size {
                 continue;
             }

@@ -143,7 +143,11 @@ impl SsdErase {
     pub fn new(block: u64, erase: f64, program: f64) -> Self {
         assert!(block > 0);
         assert!(erase >= 0.0 && program >= 0.0 && erase + program > 0.0);
-        SsdErase { block, erase, program }
+        SsdErase {
+            block,
+            erase,
+            program,
+        }
     }
 }
 

@@ -41,7 +41,11 @@ mod tests {
     fn standard_suite_members_are_all_in_fsa() {
         for f in standard_suite() {
             let report = check_membership(f.as_ref(), 1 << 16, 4096, 7);
-            assert!(report.is_member(), "{} failed Fsa membership: {report:?}", f.name());
+            assert!(
+                report.is_member(),
+                "{} failed Fsa membership: {report:?}",
+                f.name()
+            );
         }
     }
 

@@ -1,0 +1,557 @@
+//! The engine front-end: routing, batching, barriers, aggregation.
+
+use std::sync::mpsc::{self, SyncSender};
+use std::thread::JoinHandle;
+
+use realloc_common::{Extent, ObjectId, ReallocError, Reallocator};
+use workload_gen::{Request, Workload};
+
+use crate::route::shard_of;
+use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
+use crate::stats::EngineStats;
+
+/// Sizing knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shards (worker threads). Each owns an independent
+    /// reallocator, so the aggregate footprint bound is `(1+ε)·Σ V_i`.
+    pub shards: usize,
+    /// Requests per channel message. Larger batches amortize channel
+    /// overhead; smaller ones reduce barrier latency. One channel round
+    /// trip per `batch` requests is the same amortization play the paper's
+    /// buffer segments make for moves.
+    pub batch: usize,
+    /// Bounded channel depth, in batches. A full queue blocks the
+    /// enqueueing caller — backpressure, not unbounded buffering.
+    pub queue_depth: usize,
+    /// Keep a full per-request [`Ledger`](realloc_common::Ledger) on every
+    /// shard (the post-hoc cost-pricing record). On by default; a
+    /// throughput-critical deployment can turn it off — the ledger grows
+    /// without bound and its append is the worker's largest per-request
+    /// fixed cost. Aggregate stats (including the settled-space ratio) are
+    /// maintained incrementally either way.
+    pub record_ledger: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            batch: 256,
+            queue_depth: 4,
+            record_ledger: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "engine needs at least one shard");
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// This configuration with per-request ledgers disabled (stats only).
+    pub fn ledgerless(mut self) -> Self {
+        self.record_ledger = false;
+        self
+    }
+}
+
+/// Errors surfaced by the engine's handle API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A shard's reallocator rejected a request. Reported at the first
+    /// barrier after it happened; `index` counts the shard's own stream.
+    Request {
+        /// Shard that rejected the request.
+        shard: usize,
+        /// Index in that shard's request stream (0-based).
+        index: u64,
+        /// The underlying rejection.
+        error: ReallocError,
+    },
+    /// A shard's worker thread is gone (its channel disconnected).
+    ShardDown {
+        /// The dead shard.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Request {
+                shard,
+                index,
+                error,
+            } => {
+                write!(f, "shard {shard} rejected its request #{index}: {error}")
+            }
+            EngineError::ShardDown { shard } => write!(f, "shard {shard} worker is gone"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A sharded, multi-threaded reallocation service.
+///
+/// See the [crate docs](crate) for the architecture. Construct with
+/// [`Engine::new`], feed with [`insert`](Engine::insert) /
+/// [`delete`](Engine::delete) (or [`drive`](Engine::drive) for a whole
+/// workload), observe with [`snapshot`](Engine::snapshot) /
+/// [`quiesce`](Engine::quiesce), and finish with
+/// [`shutdown`](Engine::shutdown) to collect per-shard ledgers. Dropping
+/// an engine without `shutdown` joins its workers and discards results.
+pub struct Engine {
+    config: EngineConfig,
+    senders: Vec<SyncSender<Command>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Per-shard batch under construction (not yet sent).
+    pending: Vec<Vec<Request>>,
+}
+
+impl Engine {
+    /// Spawns `config.shards` worker threads; `factory(shard)` builds each
+    /// shard's reallocator (any `Reallocator + Send` — paper variants,
+    /// baselines, or a mix).
+    ///
+    /// # Panics
+    /// Panics if `config.shards` or `config.batch` is zero.
+    pub fn new<F>(config: EngineConfig, mut factory: F) -> Engine
+    where
+        F: FnMut(usize) -> Box<dyn Reallocator + Send>,
+    {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        assert!(config.batch > 0, "batch size must be positive");
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+            let worker = ShardWorker::new(shard, factory(shard), config.record_ledger);
+            let handle = std::thread::Builder::new()
+                .name(format!("realloc-shard-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Engine {
+            pending: vec![Vec::with_capacity(config.batch); config.shards],
+            config,
+            senders,
+            workers,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The shard that owns `id` (stable across runs; see
+    /// [`shard_of`](crate::route::shard_of)).
+    pub fn shard_of(&self, id: ObjectId) -> usize {
+        shard_of(id, self.config.shards)
+    }
+
+    /// Enqueues `〈INSERTOBJECT, id, size〉` on the owning shard.
+    ///
+    /// `Ok` means *accepted for serving*, not *served*: a rejection by the
+    /// shard's reallocator (e.g. a duplicate id) surfaces at the next
+    /// barrier. `Err` here only ever means the shard is down.
+    pub fn insert(&mut self, id: ObjectId, size: u64) -> Result<(), EngineError> {
+        self.enqueue(Request::Insert { id, size })
+    }
+
+    /// Enqueues `〈DELETEOBJECT, id〉` on the owning shard. Same contract as
+    /// [`insert`](Engine::insert).
+    pub fn delete(&mut self, id: ObjectId) -> Result<(), EngineError> {
+        self.enqueue(Request::Delete { id })
+    }
+
+    fn enqueue(&mut self, req: Request) -> Result<(), EngineError> {
+        let shard = self.shard_of(req.id());
+        self.pending[shard].push(req);
+        if self.pending[shard].len() >= self.config.batch {
+            let batch = std::mem::replace(
+                &mut self.pending[shard],
+                Vec::with_capacity(self.config.batch),
+            );
+            self.send(shard, Command::Batch(batch))?;
+        }
+        Ok(())
+    }
+
+    fn send(&self, shard: usize, cmd: Command) -> Result<(), EngineError> {
+        self.senders[shard]
+            .send(cmd)
+            .map_err(|_| EngineError::ShardDown { shard })
+    }
+
+    /// Pushes every partially filled batch to its shard. Called implicitly
+    /// by all barriers; only needed directly to cap latency when trickling
+    /// requests below the batch size.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        for shard in 0..self.config.shards {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, Command::Batch(batch))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Barrier: flush, send one command per shard, await all replies.
+    fn barrier<T>(
+        &mut self,
+        make: impl Fn(mpsc::Sender<T>) -> Command,
+    ) -> Result<Vec<T>, EngineError> {
+        self.flush()?;
+        let mut replies = Vec::with_capacity(self.config.shards);
+        for shard in 0..self.config.shards {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, make(tx))?;
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| rx.recv().map_err(|_| EngineError::ShardDown { shard }))
+            .collect()
+    }
+
+    /// The error-surfacing rule every barrier shares: the first rejected
+    /// request of the lowest-numbered shard that saw one wins.
+    fn surface_first_error<'a>(
+        replies: impl Iterator<Item = (usize, &'a Option<ShardError>)>,
+    ) -> Result<(), EngineError> {
+        for (shard, first_error) in replies {
+            if let Some(err) = first_error {
+                return Err(EngineError::Request {
+                    shard,
+                    index: err.index,
+                    error: err.error,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn aggregate(replies: Vec<ShardReply>) -> Result<EngineStats, EngineError> {
+        Self::surface_first_error(replies.iter().map(|r| (r.stats.shard, &r.first_error)))?;
+        Ok(EngineStats {
+            per_shard: replies.into_iter().map(|r| r.stats).collect(),
+        })
+    }
+
+    /// Waits until every enqueued request has been served and all deferred
+    /// work is complete (each shard runs `Reallocator::quiesce`, draining
+    /// e.g. the deamortized structure's in-progress flush), then returns
+    /// the aggregated stats. Surfaces the first request-level error, if
+    /// any shard saw one.
+    pub fn quiesce(&mut self) -> Result<EngineStats, EngineError> {
+        let replies = self.barrier(Command::Quiesce)?;
+        Self::aggregate(replies)
+    }
+
+    /// Waits until every enqueued request has been served and returns the
+    /// aggregated stats, without forcing deferred work. Surfaces the first
+    /// request-level error, if any shard saw one.
+    pub fn snapshot(&mut self) -> Result<EngineStats, EngineError> {
+        let replies = self.barrier(Command::Snapshot)?;
+        Self::aggregate(replies)
+    }
+
+    /// Current placements of all live objects, per shard, sorted by id.
+    /// (A barrier, like `snapshot`.) Objects whose delete is deferred
+    /// inside a quiescing structure are not listed.
+    pub fn extents(&mut self) -> Result<Vec<Vec<(ObjectId, Extent)>>, EngineError> {
+        self.barrier(Command::Extents)
+    }
+
+    /// Replays a whole workload: splits it into per-shard streams with
+    /// [`workload_gen::shard::split_with`] (per-object request order is
+    /// preserved — an object's requests all hash to the same shard, in
+    /// sequence order) and feeds the streams round-robin, one batch per
+    /// shard per round, so every queue stays busy instead of one shard
+    /// draining while the rest idle.
+    ///
+    /// Returns when everything is *enqueued*; follow with
+    /// [`quiesce`](Engine::quiesce) or [`snapshot`](Engine::snapshot) to
+    /// wait for completion and check for request errors.
+    pub fn drive(&mut self, workload: &Workload) -> Result<(), EngineError> {
+        // Order wrt. anything already trickled in via insert/delete.
+        self.flush()?;
+        let shards = self.config.shards;
+        let parts = workload_gen::shard::split_with(workload, shards, |id| shard_of(id, shards));
+        let batch = self.config.batch;
+        let mut cursor = vec![0usize; shards];
+        loop {
+            let mut done = true;
+            for (shard, part) in parts.iter().enumerate() {
+                let reqs = &part.requests;
+                if cursor[shard] < reqs.len() {
+                    done = false;
+                    let end = (cursor[shard] + batch).min(reqs.len());
+                    self.send(shard, Command::Batch(reqs[cursor[shard]..end].to_vec()))?;
+                    cursor[shard] = end;
+                }
+            }
+            if done {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Final barrier: serves everything still queued, stops all workers,
+    /// joins their threads, and returns each shard's stats *and full
+    /// ledger* — the per-shard move logs that post-hoc cost pricing needs.
+    /// Surfaces the first request-level error instead, if any shard saw
+    /// one.
+    pub fn shutdown(mut self) -> Result<Vec<ShardFinal>, EngineError> {
+        let finals = self.barrier(Command::Finish)?;
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        Self::surface_first_error(finals.iter().map(|f| (f.stats.shard, &f.first_error)))?;
+        Ok(finals)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Disconnect the channels so workers fall out of their loops, then
+        // join to avoid leaking threads past the engine's lifetime.
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realloc_common::Outcome;
+    use std::collections::HashMap;
+
+    /// A minimal in-test reallocator: bump allocation, never moves, never
+    /// reuses space. Enough to exercise every engine path deterministically.
+    #[derive(Default)]
+    struct Bump {
+        extents: HashMap<ObjectId, Extent>,
+        end: u64,
+        volume: u64,
+        delta: u64,
+    }
+
+    impl Reallocator for Bump {
+        fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError> {
+            if size == 0 {
+                return Err(ReallocError::ZeroSize);
+            }
+            if self.extents.contains_key(&id) {
+                return Err(ReallocError::DuplicateId(id));
+            }
+            self.extents.insert(id, Extent::new(self.end, size));
+            self.end += size;
+            self.volume += size;
+            self.delta = self.delta.max(size);
+            Ok(Outcome::empty())
+        }
+        fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
+            let e = self
+                .extents
+                .remove(&id)
+                .ok_or(ReallocError::UnknownId(id))?;
+            self.volume -= e.len;
+            Ok(Outcome::empty())
+        }
+        fn extent_of(&self, id: ObjectId) -> Option<Extent> {
+            self.extents.get(&id).copied()
+        }
+        fn live_volume(&self) -> u64 {
+            self.volume
+        }
+        fn structure_size(&self) -> u64 {
+            self.end
+        }
+        fn footprint(&self) -> u64 {
+            self.end
+        }
+        fn max_object_size(&self) -> u64 {
+            self.delta
+        }
+        fn name(&self) -> &'static str {
+            "bump"
+        }
+        fn live_count(&self) -> usize {
+            self.extents.len()
+        }
+    }
+
+    fn bump_engine(shards: usize) -> Engine {
+        Engine::new(EngineConfig::with_shards(shards), |_| {
+            Box::new(Bump::default())
+        })
+    }
+
+    #[test]
+    fn serves_and_aggregates() {
+        let mut e = bump_engine(3);
+        for i in 0..100u64 {
+            e.insert(ObjectId(i), 1 + i % 7).unwrap();
+        }
+        for i in 0..50u64 {
+            e.delete(ObjectId(i)).unwrap();
+        }
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.shards(), 3);
+        assert_eq!(stats.requests(), 150);
+        assert_eq!(stats.live_count(), 50);
+        let expect: u64 = (50..100).map(|i| 1 + i % 7).sum();
+        assert_eq!(stats.live_volume(), expect);
+        assert_eq!(stats.errors(), 0);
+        // Every request landed on the shard its id hashes to.
+        let per_shard_requests: u64 = stats.per_shard.iter().map(|s| s.requests).sum();
+        assert_eq!(per_shard_requests, 150);
+    }
+
+    #[test]
+    fn small_batches_flush_at_barriers() {
+        // 5 requests with batch=256 stay pending until the barrier.
+        let mut e = bump_engine(2);
+        for i in 0..5u64 {
+            e.insert(ObjectId(i), 8).unwrap();
+        }
+        let stats = e.snapshot().unwrap();
+        assert_eq!(stats.requests(), 5);
+        assert_eq!(stats.live_volume(), 40);
+    }
+
+    #[test]
+    fn request_errors_surface_at_barriers_and_do_not_kill_shards() {
+        let mut e = bump_engine(2);
+        e.insert(ObjectId(1), 8).unwrap();
+        e.insert(ObjectId(1), 8).unwrap(); // duplicate — same shard by hash
+        e.insert(ObjectId(2), 4).unwrap();
+        let err = e.snapshot().unwrap_err();
+        match err {
+            EngineError::Request {
+                error: ReallocError::DuplicateId(id),
+                ..
+            } => {
+                assert_eq!(id, ObjectId(1));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The shard kept serving past the bad request.
+        let shard1 = e.shard_of(ObjectId(1));
+        let finals = e.shutdown().unwrap_err();
+        assert!(matches!(finals, EngineError::Request { shard, .. } if shard == shard1));
+    }
+
+    #[test]
+    fn extents_match_routing() {
+        let mut e = bump_engine(4);
+        for i in 0..40u64 {
+            e.insert(ObjectId(i), 4).unwrap();
+        }
+        let extents = e.extents().unwrap();
+        assert_eq!(extents.len(), 4);
+        let mut seen = 0;
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, extent) in list {
+                assert_eq!(e.shard_of(id), shard, "{id} listed on wrong shard");
+                assert_eq!(extent.len, 4);
+                seen += 1;
+            }
+            // Sorted by id within the shard.
+            assert!(list.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        assert_eq!(seen, 40, "every live object listed exactly once");
+    }
+
+    #[test]
+    fn shutdown_returns_per_shard_ledgers() {
+        let mut e = bump_engine(2);
+        for i in 0..20u64 {
+            e.insert(ObjectId(i), 2).unwrap();
+        }
+        let finals = e.shutdown().unwrap();
+        assert_eq!(finals.len(), 2);
+        let total: usize = finals.iter().map(|f| f.ledger.len()).sum();
+        assert_eq!(total, 20, "every request ledgered on exactly one shard");
+        for f in &finals {
+            assert_eq!(f.ledger.len() as u64, f.stats.requests);
+        }
+    }
+
+    #[test]
+    fn ledgerless_engine_keeps_stats_but_not_history() {
+        let drive = |config: EngineConfig| {
+            let mut e = Engine::new(config, |_| Box::new(Bump::default()) as _);
+            for i in 0..60u64 {
+                e.insert(ObjectId(i), 1 + i % 5).unwrap();
+            }
+            for i in 0..30u64 {
+                e.delete(ObjectId(i)).unwrap();
+            }
+            e.shutdown().unwrap()
+        };
+        let with = drive(EngineConfig::with_shards(2));
+        let without = drive(EngineConfig::with_shards(2).ledgerless());
+        for (a, b) in with.iter().zip(&without) {
+            assert_eq!(
+                a.stats, b.stats,
+                "stats must not depend on ledger recording"
+            );
+            assert_eq!(a.ledger.len() as u64, a.stats.requests);
+            assert!(b.ledger.is_empty(), "ledgerless shard kept history");
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert!(c.shards > 0 && c.batch > 0 && c.queue_depth > 0);
+        assert_eq!(EngineConfig::with_shards(7).shards, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        EngineConfig::with_shards(0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EngineError::Request {
+            shard: 2,
+            index: 7,
+            error: ReallocError::UnknownId(ObjectId(9)),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shard 2 rejected its request #7: obj#9 is not active"
+        );
+        assert_eq!(
+            EngineError::ShardDown { shard: 1 }.to_string(),
+            "shard 1 worker is gone"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+//! # realloc-engine — a sharded, multi-threaded reallocation service
+//!
+//! The algorithm crates serve one request at a time on the caller's thread.
+//! This crate turns any of them into a *service*: an [`Engine`] routes
+//! requests by [`ObjectId`](realloc_common::ObjectId) hash across `N`
+//! *shards*, each a dedicated worker thread owning one boxed
+//! [`Reallocator`](realloc_common::Reallocator) and its own
+//! [`Ledger`](realloc_common::Ledger), fed through a bounded channel in
+//! *batches* (amortizing channel overhead the way buffer flushes amortize
+//! moves).
+//!
+//! ## Why sharding preserves the paper's guarantees
+//!
+//! Theorem 2.1's bounds are *per instance*: each shard keeps its footprint
+//! within `(1+ε)·V_i` and its reallocation cost within
+//! `O((1/ε) log(1/ε))` of its allocation cost. Requests for one object
+//! always hash to the same shard, so shards never interact, and the
+//! aggregate footprint obeys `Σ footprint_i ≤ (1+ε)·Σ V_i` — the same
+//! competitive ratio as one instance. (The memory-reallocation follow-up
+//! line of work treats instances in isolation for exactly this reason.)
+//! Sharding also helps *throughput* twice over: shards serve in parallel,
+//! and each flush rebuilds a suffix of a structure `N×` smaller.
+//!
+//! ## Shape of the API
+//!
+//! ```
+//! use realloc_engine::{Engine, EngineConfig};
+//! use realloc_common::ObjectId;
+//! # use realloc_common::{Extent, Outcome, ReallocError, Reallocator};
+//! # #[derive(Default)] struct Toy(std::collections::HashMap<ObjectId, u64>, u64);
+//! # impl Reallocator for Toy {
+//! #     fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError> {
+//! #         self.0.insert(id, size); self.1 += size; Ok(Outcome::empty())
+//! #     }
+//! #     fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
+//! #         self.1 -= self.0.remove(&id).unwrap_or(0); Ok(Outcome::empty())
+//! #     }
+//! #     fn extent_of(&self, _: ObjectId) -> Option<Extent> { None }
+//! #     fn live_volume(&self) -> u64 { self.1 }
+//! #     fn structure_size(&self) -> u64 { self.1 }
+//! #     fn footprint(&self) -> u64 { self.1 }
+//! #     fn max_object_size(&self) -> u64 { 0 }
+//! #     fn name(&self) -> &'static str { "toy" }
+//! #     fn live_count(&self) -> usize { self.0.len() }
+//! # }
+//!
+//! let mut engine = Engine::new(EngineConfig::with_shards(2), |_shard| {
+//!     Box::new(Toy::default())
+//! });
+//! engine.insert(ObjectId(1), 64).unwrap();
+//! engine.insert(ObjectId(2), 32).unwrap();
+//! engine.delete(ObjectId(1)).unwrap();
+//! let stats = engine.quiesce().unwrap();
+//! assert_eq!(stats.live_volume(), 32);
+//! assert_eq!(stats.live_count(), 1);
+//! ```
+//!
+//! [`Engine::drive`] replays a whole [`Workload`](workload_gen::Workload)
+//! by splitting it into per-shard streams (preserving per-object request
+//! order) and feeding all shards round-robin so every queue stays busy.
+//!
+//! Request-level errors ([`ReallocError`](realloc_common::ReallocError))
+//! surface at the next barrier ([`Engine::quiesce`], [`Engine::snapshot`],
+//! [`Engine::shutdown`]) rather than at the enqueueing call — the price of
+//! pipelining. Worker threads never panic on bad requests; they count the
+//! error and keep serving.
+
+pub mod engine;
+pub mod route;
+pub mod shard;
+pub mod stats;
+
+pub use engine::{Engine, EngineConfig, EngineError};
+pub use route::shard_of;
+pub use shard::ShardFinal;
+pub use stats::{EngineStats, ShardStats};

@@ -1,0 +1,236 @@
+//! The shard worker: one thread, one reallocator, one ledger.
+//!
+//! A worker loops on its command channel. [`Command::Batch`] carries a run
+//! of requests (the engine batches to amortize channel overhead); the
+//! other commands are *barriers* — the engine sends them after flushing its
+//! pending batches, so by the time a reply arrives every earlier request
+//! has been served. Workers never panic on bad requests: a rejected
+//! insert/delete is counted, remembered (first occurrence), and serving
+//! continues, mirroring how a real service would 400 one request without
+//! tearing down the shard.
+
+use std::collections::HashSet;
+use std::sync::mpsc::{Receiver, Sender};
+
+use realloc_common::{Extent, Ledger, ObjectId, OpKind, Outcome, ReallocError, Reallocator};
+use workload_gen::Request;
+
+use crate::stats::ShardStats;
+
+/// The first request a shard's reallocator rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardError {
+    /// Index of the request in the shard's own stream (0-based).
+    pub index: u64,
+    /// The rejection.
+    pub error: ReallocError,
+}
+
+/// Barrier reply: a stats snapshot plus any remembered error.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardReply {
+    pub stats: ShardStats,
+    pub first_error: Option<ShardError>,
+}
+
+/// Everything a shard hands back when the engine shuts it down.
+#[derive(Debug, Clone)]
+pub struct ShardFinal {
+    /// Final stats snapshot.
+    pub stats: ShardStats,
+    /// The shard's full per-request cost ledger, priceable post hoc under
+    /// any cost function (the whole point of cost obliviousness). Empty
+    /// when the engine was configured
+    /// [`ledgerless`](crate::EngineConfig::ledgerless).
+    pub ledger: Ledger,
+    /// First rejected request, if any.
+    pub first_error: Option<ShardError>,
+}
+
+/// What the engine sends down a shard's channel.
+pub(crate) enum Command {
+    /// Serve a run of requests in order.
+    Batch(Vec<Request>),
+    /// Complete deferred work (`Reallocator::quiesce`), then reply.
+    Quiesce(Sender<ShardReply>),
+    /// Reply with current stats (no state change).
+    Snapshot(Sender<ShardReply>),
+    /// Reply with the placements of all live objects, sorted by id.
+    Extents(Sender<Vec<(ObjectId, Extent)>>),
+    /// Final barrier: reply with stats + ledger and exit the thread.
+    Finish(Sender<ShardFinal>),
+}
+
+/// Worker-thread state.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    realloc: Box<dyn Reallocator + Send>,
+    record_ledger: bool,
+    ledger: Ledger,
+    /// Ids this shard believes live, by request history. The `Reallocator`
+    /// trait cannot enumerate objects, so the worker tracks the population
+    /// itself to answer [`Command::Extents`].
+    live: HashSet<ObjectId>,
+    requests: u64,
+    batches: u64,
+    errors: u64,
+    first_error: Option<ShardError>,
+    moves: u64,
+    moved_volume: u64,
+    /// Max over requests of `structure_after / volume_after`, maintained
+    /// incrementally so it survives running ledgerless.
+    max_settled_ratio: f64,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        realloc: Box<dyn Reallocator + Send>,
+        record_ledger: bool,
+    ) -> Self {
+        ShardWorker {
+            shard,
+            realloc,
+            record_ledger,
+            ledger: Ledger::new(),
+            live: HashSet::new(),
+            requests: 0,
+            batches: 0,
+            errors: 0,
+            first_error: None,
+            moves: 0,
+            moved_volume: 0,
+            max_settled_ratio: 0.0,
+        }
+    }
+
+    /// The worker loop. Returns when told to [`Command::Finish`] or when
+    /// every engine-side sender is gone.
+    pub(crate) fn run(mut self, rx: Receiver<Command>) {
+        while let Ok(cmd) = rx.recv() {
+            match cmd {
+                Command::Batch(reqs) => {
+                    self.batches += 1;
+                    for req in reqs {
+                        self.serve(req);
+                    }
+                }
+                Command::Quiesce(reply) => {
+                    let outcome = self.realloc.quiesce();
+                    self.note_moves(&outcome);
+                    let _ = reply.send(self.reply());
+                }
+                Command::Snapshot(reply) => {
+                    let _ = reply.send(self.reply());
+                }
+                Command::Extents(reply) => {
+                    let mut extents: Vec<(ObjectId, Extent)> = self
+                        .live
+                        .iter()
+                        .filter_map(|&id| self.realloc.extent_of(id).map(|e| (id, e)))
+                        .collect();
+                    extents.sort_by_key(|&(id, _)| id);
+                    let _ = reply.send(extents);
+                }
+                Command::Finish(reply) => {
+                    let _ = reply.send(ShardFinal {
+                        stats: self.snapshot(),
+                        ledger: self.ledger,
+                        first_error: self.first_error,
+                    });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Serves one request, mirroring the single-threaded harness's ledger
+    /// accounting exactly (same fields, same query points) so a sharded run
+    /// is priceable the same way as a standalone one.
+    fn serve(&mut self, req: Request) {
+        let index = self.requests;
+        self.requests += 1;
+        let (kind, request_size, allocated, result) = match req {
+            Request::Insert { id, size } => (
+                OpKind::Insert,
+                size,
+                Some(size),
+                self.realloc.insert(id, size),
+            ),
+            Request::Delete { id } => {
+                // The object's size is only needed for the ledger record;
+                // skip the lookup on the ledgerless fast path.
+                let size = if self.record_ledger {
+                    self.realloc.extent_of(id).map_or(0, |e| e.len)
+                } else {
+                    0
+                };
+                (OpKind::Delete, size, None, self.realloc.delete(id))
+            }
+        };
+        match result {
+            Ok(outcome) => {
+                match req {
+                    Request::Insert { id, .. } => {
+                        self.live.insert(id);
+                    }
+                    Request::Delete { id } => {
+                        self.live.remove(&id);
+                    }
+                }
+                self.note_moves(&outcome);
+                let structure = self.realloc.structure_size();
+                let volume = self.realloc.live_volume();
+                if volume > 0 {
+                    self.max_settled_ratio =
+                        self.max_settled_ratio.max(structure as f64 / volume as f64);
+                }
+                if self.record_ledger {
+                    self.ledger.record(
+                        kind,
+                        request_size,
+                        allocated,
+                        &outcome,
+                        structure,
+                        volume,
+                        self.realloc.max_object_size(),
+                    );
+                }
+            }
+            Err(error) => {
+                self.errors += 1;
+                self.first_error.get_or_insert(ShardError { index, error });
+            }
+        }
+    }
+
+    fn note_moves(&mut self, outcome: &Outcome) {
+        self.moves += outcome.move_count() as u64;
+        self.moved_volume += outcome.moved_volume();
+    }
+
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            shard: self.shard,
+            algorithm: self.realloc.name(),
+            requests: self.requests,
+            batches: self.batches,
+            errors: self.errors,
+            live_count: self.realloc.live_count(),
+            live_volume: self.realloc.live_volume(),
+            footprint: self.realloc.footprint(),
+            structure_size: self.realloc.structure_size(),
+            max_object_size: self.realloc.max_object_size(),
+            total_moves: self.moves,
+            total_moved_volume: self.moved_volume,
+            max_settled_ratio: self.max_settled_ratio,
+        }
+    }
+
+    fn reply(&self) -> ShardReply {
+        ShardReply {
+            stats: self.snapshot(),
+            first_error: self.first_error,
+        }
+    }
+}

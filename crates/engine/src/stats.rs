@@ -1,0 +1,185 @@
+//! Per-shard and aggregate serving statistics.
+
+/// Telemetry for one shard, captured at a barrier
+/// ([`Engine::quiesce`](crate::Engine::quiesce) /
+/// [`Engine::snapshot`](crate::Engine::snapshot)).
+///
+/// Everything here is a pure function of the shard's request stream, so two
+/// runs over the same workload with the same shard count produce identical
+/// values — the engine's determinism tests compare whole [`EngineStats`]
+/// with `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// `Reallocator::name()` of the algorithm this shard runs.
+    pub algorithm: &'static str,
+    /// Requests served (including failed ones).
+    pub requests: u64,
+    /// Batches received over the channel.
+    pub batches: u64,
+    /// Requests rejected by the reallocator (duplicate/unknown id, zero
+    /// size). The first one is surfaced as an [`crate::EngineError`].
+    pub errors: u64,
+    /// Number of active objects.
+    pub live_count: usize,
+    /// Total volume `V_i` of active objects.
+    pub live_volume: u64,
+    /// One past the largest address currently storing an object.
+    pub footprint: u64,
+    /// End of the shard structure's last segment (`≥ footprint`).
+    pub structure_size: u64,
+    /// `∆_i`: largest object this shard has seen.
+    pub max_object_size: u64,
+    /// Reallocations performed (including quiesce-time drains).
+    pub total_moves: u64,
+    /// Volume moved by those reallocations, in cells.
+    pub total_moved_volume: u64,
+    /// Max over requests of `structure_after / volume_after` (the ledger's
+    /// settled-space competitive ratio for this shard).
+    pub max_settled_ratio: f64,
+}
+
+/// Aggregated view over all shards, as returned by the engine's barriers.
+///
+/// Per-shard rows are kept verbatim in [`per_shard`](Self::per_shard); the
+/// methods fold them into the global quantities. Volumes, footprints, moves
+/// and request counts *add* across shards (disjoint address spaces and
+/// disjoint object populations); `∆` and competitive ratios take the *max*
+/// (the worst shard bounds the aggregate guarantee).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl EngineStats {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Total requests served across shards.
+    pub fn requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.requests).sum()
+    }
+
+    /// Total batches delivered across shards.
+    pub fn batches(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total rejected requests across shards.
+    pub fn errors(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.errors).sum()
+    }
+
+    /// Total active objects across shards.
+    pub fn live_count(&self) -> usize {
+        self.per_shard.iter().map(|s| s.live_count).sum()
+    }
+
+    /// Global live volume `Σ V_i`.
+    pub fn live_volume(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.live_volume).sum()
+    }
+
+    /// Global footprint `Σ footprint_i` (shards own disjoint address
+    /// spaces, so footprints add).
+    pub fn footprint(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.footprint).sum()
+    }
+
+    /// Global structure size `Σ structure_i`.
+    pub fn structure_size(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.structure_size).sum()
+    }
+
+    /// Global `∆ = max_i ∆_i`.
+    pub fn max_object_size(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.max_object_size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total reallocations across shards.
+    pub fn total_moves(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.total_moves).sum()
+    }
+
+    /// Total moved volume across shards, in cells.
+    pub fn total_moved_volume(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.total_moved_volume).sum()
+    }
+
+    /// The worst per-shard settled-space ratio — the aggregate's effective
+    /// footprint competitive ratio, since `Σ structure_i ≤ (max_i a_i)·Σ V_i`.
+    pub fn worst_settled_ratio(&self) -> f64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.max_settled_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Global settled ratio right now: `Σ structure_i / Σ V_i` (1.0 when
+    /// empty).
+    pub fn settled_ratio(&self) -> f64 {
+        let v = self.live_volume();
+        if v == 0 {
+            1.0
+        } else {
+            self.structure_size() as f64 / v as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: usize, volume: u64, structure: u64, delta: u64) -> ShardStats {
+        ShardStats {
+            shard: i,
+            algorithm: "test",
+            requests: 10,
+            batches: 2,
+            errors: 0,
+            live_count: 3,
+            live_volume: volume,
+            footprint: structure - 1,
+            structure_size: structure,
+            max_object_size: delta,
+            total_moves: 5,
+            total_moved_volume: 50,
+            max_settled_ratio: structure as f64 / volume as f64,
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_and_max() {
+        let stats = EngineStats {
+            per_shard: vec![shard(0, 100, 140, 32), shard(1, 50, 60, 64)],
+        };
+        assert_eq!(stats.shards(), 2);
+        assert_eq!(stats.requests(), 20);
+        assert_eq!(stats.live_volume(), 150);
+        assert_eq!(stats.structure_size(), 200);
+        assert_eq!(stats.footprint(), 198);
+        assert_eq!(stats.max_object_size(), 64);
+        assert_eq!(stats.total_moves(), 10);
+        assert_eq!(stats.total_moved_volume(), 100);
+        assert!((stats.worst_settled_ratio() - 1.4).abs() < 1e-12);
+        assert!((stats.settled_ratio() - 200.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_engine_is_benign() {
+        let stats = EngineStats { per_shard: vec![] };
+        assert_eq!(stats.live_volume(), 0);
+        assert_eq!(stats.max_object_size(), 0);
+        assert_eq!(stats.settled_ratio(), 1.0);
+        assert_eq!(stats.worst_settled_ratio(), 0.0);
+    }
+}

@@ -68,7 +68,11 @@ pub struct DataStore {
 impl DataStore {
     /// An empty byte-carrying store in the given mode.
     pub fn new(mode: Mode) -> Self {
-        DataStore { rules: SimStore::new(mode), cells: Vec::new(), checksums: HashMap::new() }
+        DataStore {
+            rules: SimStore::new(mode),
+            cells: Vec::new(),
+            checksums: HashMap::new(),
+        }
     }
 
     /// The underlying rule-checking store.
@@ -106,7 +110,10 @@ impl DataStore {
                 // memmove semantics: correct even for self-overlapping
                 // relaxed-mode moves.
                 self.ensure_capacity(to.end().max(from.end()));
-                self.cells.copy_within(from.offset as usize..from.end() as usize, to.offset as usize);
+                self.cells.copy_within(
+                    from.offset as usize..from.end() as usize,
+                    to.offset as usize,
+                );
             }
             StorageOp::Free { .. } | StorageOp::CheckpointBarrier => {}
         }
@@ -124,12 +131,17 @@ impl DataStore {
             .rules
             .extent_of(id)
             .ok_or_else(|| format!("{id} is not live"))?;
-        let expected = self.checksums.get(&id).ok_or_else(|| format!("{id} has no checksum"))?;
+        let expected = self
+            .checksums
+            .get(&id)
+            .ok_or_else(|| format!("{id} has no checksum"))?;
         let actual = fnv1a(self.read(ext));
         if actual == *expected {
             Ok(())
         } else {
-            Err(format!("{id} corrupted at {ext}: checksum {actual:#x} != {expected:#x}"))
+            Err(format!(
+                "{id} corrupted at {ext}: checksum {actual:#x} != {expected:#x}"
+            ))
         }
     }
 
@@ -185,10 +197,19 @@ mod tests {
     #[test]
     fn bytes_survive_moves() {
         let mut store = DataStore::new(Mode::Strict);
-        store.apply(&StorageOp::Allocate { id: id(1), to: ext(0, 100) }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: id(1),
+                to: ext(0, 100),
+            })
+            .unwrap();
         store.verify_object(id(1)).unwrap();
         store
-            .apply(&StorageOp::Move { id: id(1), from: ext(0, 100), to: ext(200, 100) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(0, 100),
+                to: ext(200, 100),
+            })
             .unwrap();
         store.verify_object(id(1)).unwrap();
     }
@@ -196,15 +217,28 @@ mod tests {
     #[test]
     fn self_overlapping_relaxed_move_is_memmove_correct() {
         let mut store = DataStore::new(Mode::Relaxed);
-        store.apply(&StorageOp::Allocate { id: id(1), to: ext(50, 100) }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: id(1),
+                to: ext(50, 100),
+            })
+            .unwrap();
         // Shift left by less than the length: memcpy would corrupt this.
         store
-            .apply(&StorageOp::Move { id: id(1), from: ext(50, 100), to: ext(10, 100) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(50, 100),
+                to: ext(10, 100),
+            })
             .unwrap();
         store.verify_object(id(1)).unwrap();
         // And right again.
         store
-            .apply(&StorageOp::Move { id: id(1), from: ext(10, 100), to: ext(60, 100) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(10, 100),
+                to: ext(60, 100),
+            })
             .unwrap();
         store.verify_object(id(1)).unwrap();
     }
@@ -212,11 +246,20 @@ mod tests {
     #[test]
     fn crash_verification_reads_durable_copies() {
         let mut store = DataStore::new(Mode::Strict);
-        store.apply(&StorageOp::Allocate { id: id(1), to: ext(0, 40) }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: id(1),
+                to: ext(0, 40),
+            })
+            .unwrap();
         store.apply(&StorageOp::CheckpointBarrier).unwrap();
         // Move after the checkpoint: durable map still points at [0, 40).
         store
-            .apply(&StorageOp::Move { id: id(1), from: ext(0, 40), to: ext(100, 40) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(0, 40),
+                to: ext(100, 40),
+            })
             .unwrap();
         let report = store.crash_and_verify();
         assert!(report.is_durable(), "old copy must still hold the bytes");
@@ -227,12 +270,26 @@ mod tests {
         // Relaxed mode allows immediate reuse; the durable copy gets
         // physically overwritten and the byte-level check must catch it.
         let mut store = DataStore::new(Mode::Relaxed);
-        store.apply(&StorageOp::Allocate { id: id(1), to: ext(0, 40) }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: id(1),
+                to: ext(0, 40),
+            })
+            .unwrap();
         store.apply(&StorageOp::CheckpointBarrier).unwrap();
         store
-            .apply(&StorageOp::Move { id: id(1), from: ext(0, 40), to: ext(100, 40) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(0, 40),
+                to: ext(100, 40),
+            })
             .unwrap();
-        store.apply(&StorageOp::Allocate { id: id(2), to: ext(0, 40) }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: id(2),
+                to: ext(0, 40),
+            })
+            .unwrap();
         let report = store.crash_and_verify();
         assert_eq!(report.corrupted, vec![id(1)]);
     }
@@ -242,7 +299,10 @@ mod tests {
         let mut store = DataStore::new(Mode::Strict);
         for n in 0..20 {
             store
-                .apply(&StorageOp::Allocate { id: id(n), to: ext(n * 50, 30 + n) })
+                .apply(&StorageOp::Allocate {
+                    id: id(n),
+                    to: ext(n * 50, 30 + n),
+                })
                 .unwrap();
         }
         store.verify_all().unwrap();

@@ -19,7 +19,10 @@ impl DeviceModel {
     /// `cost.cost(w)` and whose checkpoints take `checkpoint_latency`.
     pub fn new(cost: Box<dyn CostFn>, checkpoint_latency: f64) -> Self {
         assert!(checkpoint_latency >= 0.0);
-        DeviceModel { cost, checkpoint_latency }
+        DeviceModel {
+            cost,
+            checkpoint_latency,
+        }
     }
 
     /// Name of the underlying cost function.
@@ -52,9 +55,19 @@ mod tests {
     #[test]
     fn prices_ops_by_kind() {
         let dev = DeviceModel::new(Box::new(Affine::disk(10.0, 1.0)), 100.0);
-        let a = StorageOp::Allocate { id: ObjectId(1), to: Extent::new(0, 5) };
-        let m = StorageOp::Move { id: ObjectId(1), from: Extent::new(0, 5), to: Extent::new(10, 5) };
-        let f = StorageOp::Free { id: ObjectId(1), at: Extent::new(10, 5) };
+        let a = StorageOp::Allocate {
+            id: ObjectId(1),
+            to: Extent::new(0, 5),
+        };
+        let m = StorageOp::Move {
+            id: ObjectId(1),
+            from: Extent::new(0, 5),
+            to: Extent::new(10, 5),
+        };
+        let f = StorageOp::Free {
+            id: ObjectId(1),
+            at: Extent::new(10, 5),
+        };
         let c = StorageOp::CheckpointBarrier;
         assert_eq!(dev.time_of(&a), 15.0);
         assert_eq!(dev.time_of(&m), 15.0);
@@ -67,8 +80,15 @@ mod tests {
     fn unit_device_counts_operations() {
         let dev = DeviceModel::new(Box::new(Unit), 0.0);
         let ops = vec![
-            StorageOp::Allocate { id: ObjectId(1), to: Extent::new(0, 1000) },
-            StorageOp::Move { id: ObjectId(1), from: Extent::new(0, 1000), to: Extent::new(2000, 1000) },
+            StorageOp::Allocate {
+                id: ObjectId(1),
+                to: Extent::new(0, 1000),
+            },
+            StorageOp::Move {
+                id: ObjectId(1),
+                from: Extent::new(0, 1000),
+                to: Extent::new(2000, 1000),
+            },
         ];
         assert_eq!(dev.time_of_stream(&ops), 2.0);
     }

@@ -223,7 +223,11 @@ impl SimStore {
         if let Some((off, span)) = self.intersecting_span(target) {
             match span.state {
                 SpanState::Live(hit) => {
-                    return Err(Violation::TargetOccupied { id, target: *target, hit });
+                    return Err(Violation::TargetOccupied {
+                        id,
+                        target: *target,
+                        hit,
+                    });
                 }
                 SpanState::Ghost { epoch, .. } => {
                     // Only present in strict mode.
@@ -261,7 +265,11 @@ impl SimStore {
             StorageOp::Move { id, from, to } => {
                 let actual = self.live.get(&id).copied();
                 if actual != Some(from) {
-                    return Err(Violation::SourceMismatch { id, claimed: from, actual });
+                    return Err(Violation::SourceMismatch {
+                        id,
+                        claimed: from,
+                        actual,
+                    });
                 }
                 if self.mode == Mode::Strict && from.overlaps(&to) {
                     return Err(Violation::OverlappingMove { id, from, to });
@@ -269,7 +277,9 @@ impl SimStore {
                 // Remove the source span first so a relaxed-mode
                 // self-overlapping move does not trip the occupancy check.
                 let removed = self.spans.remove(&from.offset);
-                debug_assert!(matches!(removed, Some(Span { state: SpanState::Live(i), .. }) if i == id));
+                debug_assert!(
+                    matches!(removed, Some(Span { state: SpanState::Live(i), .. }) if i == id)
+                );
                 if let Err(v) = self.check_writable(id, &to) {
                     // Restore state before reporting, so callers can inspect.
                     self.insert_span(from, SpanState::Live(id));
@@ -277,7 +287,13 @@ impl SimStore {
                 }
                 if self.mode == Mode::Strict {
                     // The old copy must survive until the next checkpoint.
-                    self.insert_span(from, SpanState::Ghost { prior: id, epoch: self.epoch });
+                    self.insert_span(
+                        from,
+                        SpanState::Ghost {
+                            prior: id,
+                            epoch: self.epoch,
+                        },
+                    );
                 }
                 self.insert_span(to, SpanState::Live(id));
                 self.live.insert(id, to);
@@ -286,11 +302,21 @@ impl SimStore {
             StorageOp::Free { id, at } => {
                 let actual = self.live.get(&id).copied();
                 if actual != Some(at) {
-                    return Err(Violation::SourceMismatch { id, claimed: at, actual });
+                    return Err(Violation::SourceMismatch {
+                        id,
+                        claimed: at,
+                        actual,
+                    });
                 }
                 self.spans.remove(&at.offset);
                 if self.mode == Mode::Strict {
-                    self.insert_span(at, SpanState::Ghost { prior: id, epoch: self.epoch });
+                    self.insert_span(
+                        at,
+                        SpanState::Ghost {
+                            prior: id,
+                            epoch: self.epoch,
+                        },
+                    );
                 }
                 self.live.remove(&id);
                 Ok(())
@@ -311,7 +337,8 @@ impl SimStore {
     /// ghost spans become ordinary reusable free space.
     pub fn checkpoint(&mut self) {
         self.durable_btl = self.live.clone();
-        self.spans.retain(|_, s| matches!(s.state, SpanState::Live(_)));
+        self.spans
+            .retain(|_, s| matches!(s.state, SpanState::Live(_)));
         self.epoch += 1;
         self.checkpoints += 1;
     }
@@ -402,7 +429,10 @@ mod tests {
     }
 
     fn alloc(n: u64, o: u64, l: u64) -> StorageOp {
-        StorageOp::Allocate { id: id(n), to: ext(o, l) }
+        StorageOp::Allocate {
+            id: id(n),
+            to: ext(o, l),
+        }
     }
 
     #[test]
@@ -437,7 +467,11 @@ mod tests {
 
     #[test]
     fn self_overlapping_move_allowed_relaxed_rejected_strict() {
-        let mv = StorageOp::Move { id: id(1), from: ext(10, 10), to: ext(5, 10) };
+        let mv = StorageOp::Move {
+            id: id(1),
+            from: ext(10, 10),
+            to: ext(5, 10),
+        };
 
         let mut relaxed = SimStore::new(Mode::Relaxed);
         relaxed.apply(&alloc(1, 10, 10)).unwrap();
@@ -456,7 +490,11 @@ mod tests {
     fn freed_space_rule_enforced_until_checkpoint() {
         let mut s = SimStore::new(Mode::Strict);
         s.apply(&alloc(1, 0, 10)).unwrap();
-        s.apply(&StorageOp::Free { id: id(1), at: ext(0, 10) }).unwrap();
+        s.apply(&StorageOp::Free {
+            id: id(1),
+            at: ext(0, 10),
+        })
+        .unwrap();
         // Reuse before checkpoint: violation.
         let err = s.apply(&alloc(2, 0, 10)).unwrap_err();
         assert!(matches!(err, Violation::FreedSpaceRule { .. }));
@@ -470,7 +508,11 @@ mod tests {
     fn relaxed_mode_reuses_freed_space_immediately() {
         let mut s = SimStore::new(Mode::Relaxed);
         s.apply(&alloc(1, 0, 10)).unwrap();
-        s.apply(&StorageOp::Free { id: id(1), at: ext(0, 10) }).unwrap();
+        s.apply(&StorageOp::Free {
+            id: id(1),
+            at: ext(0, 10),
+        })
+        .unwrap();
         s.apply(&alloc(2, 0, 10)).unwrap();
     }
 
@@ -480,7 +522,12 @@ mod tests {
         s.apply(&alloc(1, 0, 10)).unwrap();
         s.apply(&StorageOp::CheckpointBarrier).unwrap();
         // Durable map now points at [0,10).
-        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(0, 10),
+            to: ext(20, 10),
+        })
+        .unwrap();
         // Old location may not be reused yet...
         let err = s.apply(&alloc(2, 0, 10)).unwrap_err();
         assert!(matches!(err, Violation::FreedSpaceRule { .. }));
@@ -497,7 +544,12 @@ mod tests {
         let mut s = SimStore::new(Mode::Relaxed);
         s.apply(&alloc(1, 0, 10)).unwrap();
         s.checkpoint(); // durable: 1 -> [0,10)
-        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(0, 10),
+            to: ext(20, 10),
+        })
+        .unwrap();
         // Relaxed mode lets object 2 take the old space immediately.
         s.apply(&alloc(2, 0, 10)).unwrap();
         let report = s.crash_and_recover();
@@ -510,11 +562,19 @@ mod tests {
         let mut s = SimStore::new(Mode::Strict);
         s.apply(&alloc(1, 0, 10)).unwrap();
         let err = s
-            .apply(&StorageOp::Move { id: id(1), from: ext(2, 10), to: ext(30, 10) })
+            .apply(&StorageOp::Move {
+                id: id(1),
+                from: ext(2, 10),
+                to: ext(30, 10),
+            })
             .unwrap_err();
         assert!(matches!(err, Violation::SourceMismatch { .. }));
-        let err =
-            s.apply(&StorageOp::Free { id: id(2), at: ext(0, 10) }).unwrap_err();
+        let err = s
+            .apply(&StorageOp::Free {
+                id: id(2),
+                at: ext(0, 10),
+            })
+            .unwrap_err();
         assert!(matches!(err, Violation::SourceMismatch { .. }));
     }
 
@@ -523,8 +583,18 @@ mod tests {
         let mut s = SimStore::new(Mode::Strict);
         s.apply(&alloc(1, 0, 10)).unwrap();
         s.checkpoint();
-        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(20, 10) }).unwrap();
-        s.apply(&StorageOp::Move { id: id(1), from: ext(20, 10), to: ext(40, 10) }).unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(0, 10),
+            to: ext(20, 10),
+        })
+        .unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(20, 10),
+            to: ext(40, 10),
+        })
+        .unwrap();
         // Durable map points at [0,10), which is still a ghost of object 1.
         assert!(s.crash_and_recover().is_durable());
         assert_eq!(s.ghost_spans().len(), 2);
@@ -537,11 +607,21 @@ mod tests {
     fn footprint_and_peak_track_live_and_ghost_space() {
         let mut s = SimStore::new(Mode::Strict);
         s.apply(&alloc(1, 0, 10)).unwrap();
-        s.apply(&StorageOp::Move { id: id(1), from: ext(0, 10), to: ext(90, 10) }).unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(0, 10),
+            to: ext(90, 10),
+        })
+        .unwrap();
         assert_eq!(s.footprint(), 100);
         assert_eq!(s.peak_physical_end(), 100);
         s.apply(&StorageOp::CheckpointBarrier).unwrap();
-        s.apply(&StorageOp::Move { id: id(1), from: ext(90, 10), to: ext(0, 10) }).unwrap();
+        s.apply(&StorageOp::Move {
+            id: id(1),
+            from: ext(90, 10),
+            to: ext(0, 10),
+        })
+        .unwrap();
         assert_eq!(s.footprint(), 10);
         assert_eq!(s.peak_physical_end(), 100, "high-water mark is sticky");
     }
@@ -550,7 +630,9 @@ mod tests {
     fn verify_matches_reports_divergence() {
         let mut s = SimStore::new(Mode::Strict);
         s.apply(&alloc(1, 0, 10)).unwrap();
-        assert!(s.verify_matches(|oid| (oid == id(1)).then(|| ext(0, 10))).is_ok());
+        assert!(s
+            .verify_matches(|oid| (oid == id(1)).then(|| ext(0, 10)))
+            .is_ok());
         assert!(s.verify_matches(|_| None).is_err());
         assert!(s.verify_matches(|_| Some(ext(1, 10))).is_err());
     }

@@ -15,9 +15,15 @@ pub fn lemma_3_7(delta: u64) -> Workload {
     let mut ids = IdSource::new();
     let mut requests = Vec::with_capacity(delta as usize + 2);
     let big = ids.fresh();
-    requests.push(Request::Insert { id: big, size: delta });
+    requests.push(Request::Insert {
+        id: big,
+        size: delta,
+    });
     for _ in 0..delta {
-        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        requests.push(Request::Insert {
+            id: ids.fresh(),
+            size: 1,
+        });
     }
     requests.push(Request::Delete { id: big });
     Workload::new(format!("lemma3.7(∆={delta})"), requests)
@@ -39,16 +45,25 @@ pub fn compaction_killer(delta: u64, rounds: usize) -> Workload {
     let mut bigs = Vec::with_capacity(rounds);
     for _ in 0..rounds {
         let big = ids.fresh();
-        requests.push(Request::Insert { id: big, size: delta });
+        requests.push(Request::Insert {
+            id: big,
+            size: delta,
+        });
         bigs.push(big);
         for _ in 0..delta {
-            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+            requests.push(Request::Insert {
+                id: ids.fresh(),
+                size: 1,
+            });
         }
     }
     for big in bigs {
         requests.push(Request::Delete { id: big });
     }
-    Workload::new(format!("compaction-killer(∆={delta}, {rounds} rounds)"), requests)
+    Workload::new(
+        format!("compaction-killer(∆={delta}, {rounds} rounds)"),
+        requests,
+    )
 }
 
 /// The cascade trigger for the size-class-gaps strategy (Bender et al. 2009
@@ -63,12 +78,21 @@ pub fn cascade_trigger(delta: u64, small_inserts: usize) -> Workload {
     let classes = delta.trailing_zeros() + 1;
     // Seed one object per class, largest first so the layout is "tight".
     for k in (0..classes).rev() {
-        requests.push(Request::Insert { id: ids.fresh(), size: 1u64 << k });
+        requests.push(Request::Insert {
+            id: ids.fresh(),
+            size: 1u64 << k,
+        });
     }
     for _ in 0..small_inserts {
-        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        requests.push(Request::Insert {
+            id: ids.fresh(),
+            size: 1,
+        });
     }
-    Workload::new(format!("cascade(∆={delta}, {small_inserts} unit inserts)"), requests)
+    Workload::new(
+        format!("cascade(∆={delta}, {small_inserts} unit inserts)"),
+        requests,
+    )
 }
 
 /// Fragmentation adversary for no-move allocators (Robson / Luby-style).
@@ -100,7 +124,10 @@ pub fn nomove_fragmenter(levels: u32, level_volume: u64) -> Workload {
             requests.push(Request::Insert { id: filler, size });
             fillers.push(filler);
             // The blocker stays alive forever, pinning the hole boundaries.
-            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+            requests.push(Request::Insert {
+                id: ids.fresh(),
+                size: 1,
+            });
         }
         for filler in prev_fillers.drain(..) {
             requests.push(Request::Delete { id: filler });
@@ -110,7 +137,10 @@ pub fn nomove_fragmenter(levels: u32, level_volume: u64) -> Workload {
     for filler in prev_fillers {
         requests.push(Request::Delete { id: filler });
     }
-    Workload::new(format!("fragmenter({levels} levels, {level_volume}/level)"), requests)
+    Workload::new(
+        format!("fragmenter({levels} levels, {level_volume}/level)"),
+        requests,
+    )
 }
 
 /// Worst-case burst for the deamortized structure: alternating tiny and
@@ -122,21 +152,33 @@ pub fn deamortized_burst(delta: u64, rounds: usize) -> Workload {
     let mut requests = Vec::new();
     // Standing volume so flushes have real work to spread out.
     for _ in 0..delta {
-        requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+        requests.push(Request::Insert {
+            id: ids.fresh(),
+            size: 1,
+        });
     }
     for _ in 0..4 {
-        requests.push(Request::Insert { id: ids.fresh(), size: delta });
+        requests.push(Request::Insert {
+            id: ids.fresh(),
+            size: delta,
+        });
     }
     let mut last_big = None;
     for r in 0..rounds {
         if r % 2 == 0 {
-            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+            requests.push(Request::Insert {
+                id: ids.fresh(),
+                size: 1,
+            });
             let id = ids.fresh();
             requests.push(Request::Insert { id, size: delta });
             last_big = Some(id);
         } else if let Some(id) = last_big.take() {
             requests.push(Request::Delete { id });
-            requests.push(Request::Insert { id: ids.fresh(), size: 1 });
+            requests.push(Request::Insert {
+                id: ids.fresh(),
+                size: 1,
+            });
         }
     }
     Workload::new(format!("deamortized-burst(∆={delta})"), requests)
@@ -190,9 +232,17 @@ mod tests {
         // Live volume stays O(level_volume): two adjacent levels' fillers
         // (deletion is deferred by one level) plus the geometric blocker
         // tail.
-        assert!(stats.peak_volume <= 3 * (1 << 10), "peak {}", stats.peak_volume);
+        assert!(
+            stats.peak_volume <= 3 * (1 << 10),
+            "peak {}",
+            stats.peak_volume
+        );
         // Final survivors are blockers only.
-        assert!(stats.final_volume < (1 << 10) / 2, "final {}", stats.final_volume);
+        assert!(
+            stats.final_volume < (1 << 10) / 2,
+            "final {}",
+            stats.final_volume
+        );
         assert_eq!(stats.delta, 1 << 8);
     }
 

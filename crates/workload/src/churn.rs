@@ -32,10 +32,10 @@ pub fn churn(config: &ChurnConfig) -> Workload {
     let mut volume = 0u64;
 
     let insert = |rng: &mut StdRng,
-                      requests: &mut Vec<Request>,
-                      live: &mut Vec<(ObjectId, u64)>,
-                      volume: &mut u64,
-                      ids: &mut IdSource| {
+                  requests: &mut Vec<Request>,
+                  live: &mut Vec<(ObjectId, u64)>,
+                  volume: &mut u64,
+                  ids: &mut IdSource| {
         let size = config.dist.sample(rng);
         let id = ids.fresh();
         requests.push(Request::Insert { id, size });
@@ -75,7 +75,10 @@ pub fn grow_only(dist: &SizeDist, count: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ids = IdSource::new();
     let requests = (0..count)
-        .map(|_| Request::Insert { id: ids.fresh(), size: dist.sample(&mut rng) })
+        .map(|_| Request::Insert {
+            id: ids.fresh(),
+            size: dist.sample(&mut rng),
+        })
         .collect();
     Workload::new(format!("grow({}, {count} inserts)", dist.label()), requests)
 }

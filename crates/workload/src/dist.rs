@@ -72,7 +72,13 @@ impl SizeDist {
                 let hi = (1u64 << (class + 1)) - 1;
                 rng.random_range(lo..=hi)
             }
-            SizeDist::Bimodal { small_lo, small_hi, large_lo, large_hi, large_prob } => {
+            SizeDist::Bimodal {
+                small_lo,
+                small_hi,
+                large_lo,
+                large_hi,
+                large_prob,
+            } => {
                 assert!(0 < small_lo && small_lo <= small_hi);
                 assert!(small_hi <= large_lo && large_lo <= large_hi);
                 assert!((0.0..=1.0).contains(&large_prob));
@@ -140,18 +146,27 @@ mod tests {
 
     #[test]
     fn power_law_skews_small() {
-        let d = SizeDist::ClassPowerLaw { classes: 8, decay: 0.5 };
+        let d = SizeDist::ClassPowerLaw {
+            classes: 8,
+            decay: 0.5,
+        };
         let mut r = rng();
         let n = 20_000;
         let small = (0..n).filter(|_| d.sample(&mut r) < 2).count();
         // Class 0 (size 1) has weight 1 of total ~1.99 → ~50%.
-        assert!(small > n * 2 / 5, "expected heavy small skew, got {small}/{n}");
+        assert!(
+            small > n * 2 / 5,
+            "expected heavy small skew, got {small}/{n}"
+        );
         assert_eq!(d.max_size(), 255);
     }
 
     #[test]
     fn power_law_respects_class_cap() {
-        let d = SizeDist::ClassPowerLaw { classes: 4, decay: 1.0 };
+        let d = SizeDist::ClassPowerLaw {
+            classes: 4,
+            decay: 1.0,
+        };
         let mut r = rng();
         for _ in 0..2000 {
             assert!(d.sample(&mut r) <= 15);

@@ -59,7 +59,10 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
             }
             continue;
         }
-        let err = |message: String| ParseError { line: i + 1, message };
+        let err = |message: String| ParseError {
+            line: i + 1,
+            message,
+        };
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("I") => {
@@ -74,7 +77,10 @@ pub fn from_text(text: &str) -> Result<Workload, ParseError> {
                 if size == 0 {
                     return Err(err("size must be positive".into()));
                 }
-                requests.push(Request::Insert { id: ObjectId(id), size });
+                requests.push(Request::Insert {
+                    id: ObjectId(id),
+                    size,
+                });
             }
             Some("D") => {
                 let id = parts

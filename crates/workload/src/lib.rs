@@ -14,11 +14,15 @@
 //!   triggers, and the fragmentation adversary for no-move allocators).
 //! * [`trace`] — database-shaped traces (block rewrites through a
 //!   translation layer, sawtooth capacity cycles, grow-then-shrink).
+//!
+//! Plus [`shard`] — partitioning any workload into per-shard streams for
+//! the sharded serving layer, preserving per-object request order.
 
 pub mod adversarial;
 pub mod churn;
 pub mod dist;
 pub mod file;
+pub mod shard;
 pub mod trace;
 
 use realloc_common::ObjectId;
@@ -38,6 +42,15 @@ pub enum Request {
         /// Name of a live object.
         id: ObjectId,
     },
+}
+
+impl Request {
+    /// The object this request names (the routing key for sharding).
+    pub fn id(&self) -> ObjectId {
+        match *self {
+            Request::Insert { id, .. } | Request::Delete { id } => id,
+        }
+    }
 }
 
 /// A named, materialized request sequence.
@@ -67,7 +80,10 @@ pub struct WorkloadStats {
 impl Workload {
     /// Creates a named workload from a request sequence.
     pub fn new(name: impl Into<String>, requests: Vec<Request>) -> Self {
-        Workload { name: name.into(), requests }
+        Workload {
+            name: name.into(),
+            requests,
+        }
     }
 
     /// Number of requests.
@@ -175,7 +191,10 @@ mod tests {
     use super::*;
 
     fn ins(id: u64, size: u64) -> Request {
-        Request::Insert { id: ObjectId(id), size }
+        Request::Insert {
+            id: ObjectId(id),
+            size,
+        }
     }
     fn del(id: u64) -> Request {
         Request::Delete { id: ObjectId(id) }
@@ -221,6 +240,12 @@ mod tests {
         assert_eq!(s.peak_volume, 16);
         assert_eq!(s.final_volume, 7);
         assert_eq!(s.delta, 10);
+    }
+
+    #[test]
+    fn request_id_is_the_routing_key() {
+        assert_eq!(ins(3, 4).id(), ObjectId(3));
+        assert_eq!(del(9).id(), ObjectId(9));
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn block_rewrites(blocks: usize, rewrites: usize, dist: &SizeDist, seed: u64
     let mut current: Vec<ObjectId> = (0..blocks)
         .map(|_| {
             let id = ids.fresh();
-            requests.push(Request::Insert { id, size: dist.sample(&mut rng) });
+            requests.push(Request::Insert {
+                id,
+                size: dist.sample(&mut rng),
+            });
             id
         })
         .collect();
@@ -31,11 +34,17 @@ pub fn block_rewrites(blocks: usize, rewrites: usize, dist: &SizeDist, seed: u64
         // New version is written before the old is freed, mirroring
         // copy-on-write database engines.
         let new = ids.fresh();
-        requests.push(Request::Insert { id: new, size: dist.sample(&mut rng) });
+        requests.push(Request::Insert {
+            id: new,
+            size: dist.sample(&mut rng),
+        });
         requests.push(Request::Delete { id: current[slot] });
         current[slot] = new;
     }
-    Workload::new(format!("block-rewrites({blocks} blocks, {rewrites} rewrites)"), requests)
+    Workload::new(
+        format!("block-rewrites({blocks} blocks, {rewrites} rewrites)"),
+        requests,
+    )
 }
 
 /// A sawtooth capacity cycle: grow by inserts to `high` volume, shrink by

@@ -16,7 +16,10 @@ use storage_realloc::workloads::dist::SizeDist;
 fn main() {
     let eps = 0.25;
     let workload = churn(&ChurnConfig {
-        dist: SizeDist::ClassPowerLaw { classes: 11, decay: 0.75 },
+        dist: SizeDist::ClassPowerLaw {
+            classes: 11,
+            decay: 0.75,
+        },
         target_volume: 100_000,
         churn_ops: 50_000,
         seed: 1,
@@ -29,7 +32,10 @@ fn main() {
     let theory = (1.0 / eps_prime) * (1.0 / eps_prime).ln();
 
     println!("\nthe algorithm made every decision without a cost function.");
-    println!("now price its {} moves under each medium:\n", result.ledger.total_moves());
+    println!(
+        "now price its {} moves under each medium:\n",
+        result.ledger.total_moves()
+    );
     println!(
         "{:>12}  {:>10}  {:>14}  {:>8}  membership",
         "medium", "b(f)", "b(f)/theory", "in Fsa"

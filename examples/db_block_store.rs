@@ -45,7 +45,8 @@ fn main() {
             Request::Delete { id } => db.delete(id).unwrap(),
         };
         simulated_us += device.time_of_stream(&outcome.ops);
-        disk.apply_all(&outcome.ops).expect("the database rules must hold");
+        disk.apply_all(&outcome.ops)
+            .expect("the database rules must hold");
 
         // Crash the database every 1,000 requests and recover.
         if i % 1_000 == 999 {
@@ -63,7 +64,11 @@ fn main() {
     println!("\n== results ==");
     println!("live blocks:            {}", db.live_count());
     println!("live volume:            {} pages", db.live_volume());
-    println!("disk footprint:         {} pages (ratio {ratio:.3}, bound {})", db.structure_size(), 1.0 + eps);
+    println!(
+        "disk footprint:         {} pages (ratio {ratio:.3}, bound {})",
+        db.structure_size(),
+        1.0 + eps
+    );
     println!("flushes:                {}", db.flush_count());
     println!("checkpoints waited on:  {}", db.checkpoints_waited());
     println!("simulated device time:  {:.1} s", simulated_us / 1e6);
@@ -72,12 +77,16 @@ fn main() {
     // The cost-oblivious punchline: the same run, priced on other media.
     println!("\n== the same move log, priced per medium (reallocation / allocation cost) ==");
     let mut db2 = CheckpointedReallocator::new(eps);
-    let ledger = run_workload(&mut db2, &trace, RunConfig::plain()).unwrap().ledger;
+    let ledger = run_workload(&mut db2, &trace, RunConfig::plain())
+        .unwrap()
+        .ledger;
     for f in storage_realloc::cost::standard_suite() {
-        println!("  {:>12}: {:.2}", f.name(), ledger.cost_ratio(&|w| f.cost(w)));
+        println!(
+            "  {:>12}: {:.2}",
+            f.name(),
+            ledger.cost_ratio(&|w| f.cost(w))
+        );
     }
-    println!(
-        "\nOne algorithm, one schedule — competitive on every medium simultaneously."
-    );
+    println!("\nOne algorithm, one schedule — competitive on every medium simultaneously.");
     assert!(ratio <= 1.0 + eps + 1e-9);
 }

@@ -25,20 +25,35 @@ fn main() {
     let used: u64 = objects.iter().map(|(_, e)| e.end()).max().unwrap();
     let delta: u64 = objects.iter().map(|(_, e)| e.len).max().unwrap();
 
-    println!("before: {} objects, volume {volume} cells spread over {used} cells", objects.len());
-    println!("        utilization {:.1}%", 100.0 * volume as f64 / used as f64);
+    println!(
+        "before: {} objects, volume {volume} cells spread over {used} cells",
+        objects.len()
+    );
+    println!(
+        "        utilization {:.1}%",
+        100.0 * volume as f64 / used as f64
+    );
 
     // Sort by object size, then id (any comparison function works —
     // access-frequency, table id, timestamp...).
     let sizes: std::collections::HashMap<ObjectId, u64> =
         objects.iter().map(|&(id, e)| (id, e.len)).collect();
     let eps = 0.25;
-    let report = defragment(&objects, eps, |a, b| sizes[&a].cmp(&sizes[&b]).then(a.0.cmp(&b.0)))
-        .expect("valid input");
+    let report = defragment(&objects, eps, |a, b| {
+        sizes[&a].cmp(&sizes[&b]).then(a.0.cmp(&b.0))
+    })
+    .expect("valid input");
 
-    println!("\nafter:  objects sorted by size, packed into [{}, {})", report.budget - volume, report.budget);
+    println!(
+        "\nafter:  objects sorted by size, packed into [{}, {})",
+        report.budget - volume,
+        report.budget
+    );
     println!("        peak working space {} cells", report.peak_space);
-    println!("        theorem bound (1+ε)V + ∆ = {} cells", report.budget + delta);
+    println!(
+        "        theorem bound (1+ε)V + ∆ = {} cells",
+        report.budget + delta
+    );
     println!("        naive defrag would need 2V = {} cells", 2 * volume);
     println!(
         "        moves: {} total, {:.1} avg / {} max per object",
@@ -54,7 +69,9 @@ fn main() {
             .apply(&StorageOp::Allocate { id, to: e })
             .expect("seed initial allocation");
     }
-    store.apply_all(&report.ops).expect("schedule must replay cleanly");
+    store
+        .apply_all(&report.ops)
+        .expect("schedule must replay cleanly");
     // Final layout really is sorted and contiguous.
     let mut prev_end = report.budget - volume;
     for (id, ext) in &report.sorted {
@@ -65,7 +82,10 @@ fn main() {
     assert!(report.peak_space <= report.budget + delta);
     assert!(!report.prefix_suffix_collision);
 
-    println!("\nreplayed {} ops against the simulated store: layout verified sorted,", report.ops.len());
+    println!(
+        "\nreplayed {} ops against the simulated store: layout verified sorted,",
+        report.ops.len()
+    );
     println!("contiguous, and within budget. The schedule is cost-oblivious: it is");
     println!("within O((1/ε)log(1/ε)) of optimal cost on RAM, disk, and SSD alike.");
 }

@@ -23,14 +23,38 @@ fn main() {
     let mut plan = CostObliviousReallocator::new(eps);
 
     let jobs = [
-        Job { name: "nightly-backup", minutes: 240 },
-        Job { name: "etl-ingest", minutes: 55 },
-        Job { name: "index-rebuild", minutes: 120 },
-        Job { name: "report-gen", minutes: 30 },
-        Job { name: "log-rotate", minutes: 6 },
-        Job { name: "vacuum", minutes: 45 },
-        Job { name: "ml-training", minutes: 380 },
-        Job { name: "cache-warmup", minutes: 12 },
+        Job {
+            name: "nightly-backup",
+            minutes: 240,
+        },
+        Job {
+            name: "etl-ingest",
+            minutes: 55,
+        },
+        Job {
+            name: "index-rebuild",
+            minutes: 120,
+        },
+        Job {
+            name: "report-gen",
+            minutes: 30,
+        },
+        Job {
+            name: "log-rotate",
+            minutes: 6,
+        },
+        Job {
+            name: "vacuum",
+            minutes: 45,
+        },
+        Job {
+            name: "ml-training",
+            minutes: 380,
+        },
+        Job {
+            name: "cache-warmup",
+            minutes: 12,
+        },
     ];
 
     println!("== submitting jobs ==");
@@ -50,7 +74,10 @@ fn main() {
     }
     let total: u64 = plan.live_volume();
     let makespan = plan.footprint();
-    println!("total work {total} min, makespan {makespan} min (bound: {:.0} min)", (1.0 + eps) * total as f64);
+    println!(
+        "total work {total} min, makespan {makespan} min (bound: {:.0} min)",
+        (1.0 + eps) * total as f64
+    );
     assert!(plan.structure_size() as f64 <= (1.0 + eps) * total as f64 + 1e-9);
 
     println!(

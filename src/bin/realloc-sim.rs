@@ -18,13 +18,25 @@
 //!   --strict             replay ops under the database rules (§3 algorithms)
 //!   --relaxed            replay ops with memmove semantics (§2 algorithm)
 //!   --crash-check        simulate a crash after every request (with --strict)
+//!
+//! realloc-sim engine [options]
+//!
+//! Serve the workload through the sharded multi-threaded engine and print
+//! a per-shard stats table plus the aggregate row.
+//!
+//! options:
+//!   --variant <alg>      any algorithm name above (default cost-oblivious)
+//!   --shards <n>         shard count (default 4)
+//!   --batch <n>          requests per channel batch (default 256)
+//!   --eps / --trace / --churn / --seed   as above
 //! ```
 
 use std::process::ExitCode;
 
+use realloc_bench::{fmt2, fmt_u64, Table};
 use storage_realloc::prelude::*;
 
-fn make_algorithm(name: &str, eps: f64) -> Option<Box<dyn Reallocator>> {
+fn make_algorithm(name: &str, eps: f64) -> Option<Box<dyn Reallocator + Send>> {
     Some(match name {
         "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
         "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
@@ -46,6 +58,10 @@ struct Args {
     churn: (u64, usize),
     seed: u64,
     config: RunConfig,
+    // Engine-mode options (`realloc-sim engine`).
+    variant: String,
+    shards: usize,
+    batch: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,22 +74,60 @@ fn parse_args() -> Result<Args, String> {
         churn: (50_000, 20_000),
         seed: 42,
         config: RunConfig::plain(),
+        variant: "cost-oblivious".into(),
+        shards: 4,
+        batch: 256,
     };
+    let engine_mode = args.algorithm == "engine";
     let mut crash = false;
     while let Some(flag) = argv.next() {
         let mut next = |what: &str| argv.next().ok_or(format!("{flag} needs {what}"));
         match flag.as_str() {
-            "--eps" => args.eps = next("a value")?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--eps" => {
+                args.eps = next("a value")?
+                    .parse()
+                    .map_err(|e| format!("--eps: {e}"))?
+            }
             "--trace" => args.trace = Some(next("a file")?),
             "--churn" => {
-                args.churn.0 = next("a volume")?.parse().map_err(|e| format!("--churn: {e}"))?;
-                args.churn.1 = next("an op count")?.parse().map_err(|e| format!("--churn: {e}"))?;
+                args.churn.0 = next("a volume")?
+                    .parse()
+                    .map_err(|e| format!("--churn: {e}"))?;
+                args.churn.1 = next("an op count")?
+                    .parse()
+                    .map_err(|e| format!("--churn: {e}"))?;
             }
-            "--seed" => args.seed = next("a value")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--strict" => args.config.replay = Some(Mode::Strict),
-            "--relaxed" => args.config.replay = Some(Mode::Relaxed),
-            "--crash-check" => crash = true,
-            other => return Err(format!("unknown option {other}")),
+            "--seed" => {
+                args.seed = next("a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--strict" if !engine_mode => args.config.replay = Some(Mode::Strict),
+            "--relaxed" if !engine_mode => args.config.replay = Some(Mode::Relaxed),
+            "--crash-check" if !engine_mode => crash = true,
+            "--variant" if engine_mode => args.variant = next("an algorithm")?,
+            "--shards" if engine_mode => {
+                args.shards = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+            }
+            "--batch" if engine_mode => {
+                args.batch = next("a size")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if args.batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown option {other} (or not valid {} engine mode)",
+                    if engine_mode { "in" } else { "outside" }
+                ))
+            }
         }
     }
     if crash {
@@ -85,11 +139,129 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `realloc-sim engine`: serve the workload through the sharded engine and
+/// print the per-shard stats table, the aggregate row, and cost ratios
+/// priced over the union of the shard ledgers.
+fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
+    if make_algorithm(&args.variant, args.eps).is_none() {
+        eprintln!("error: unknown engine variant {:?}", args.variant);
+        return ExitCode::FAILURE;
+    }
+
+    let config = EngineConfig {
+        shards: args.shards,
+        batch: args.batch,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(config, |_| {
+        make_algorithm(&args.variant, args.eps).expect("variant validated above")
+    });
+    println!("workload:  {} ({} requests)", workload.name, workload.len());
+    println!(
+        "engine:    {} × {} shards (ε = {}, batch = {})",
+        args.variant, args.shards, args.eps, args.batch
+    );
+
+    let start = std::time::Instant::now();
+    let finals = engine
+        .drive(workload)
+        .and_then(|()| engine.quiesce().map(|_| ()))
+        .and_then(|()| engine.shutdown());
+    let elapsed = start.elapsed();
+    let finals = match finals {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("engine run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = EngineStats {
+        per_shard: finals.iter().map(|f| f.stats.clone()).collect(),
+    };
+    let mut table = Table::new(
+        format!("per-shard stats ({})", args.variant),
+        &[
+            "shard",
+            "requests",
+            "batches",
+            "objects",
+            "volume",
+            "footprint",
+            "structure",
+            "delta",
+            "moves",
+            "moved vol",
+            "ratio",
+        ],
+    );
+    let row = |label: String, s: &ShardStats| {
+        vec![
+            label,
+            fmt_u64(s.requests),
+            fmt_u64(s.batches),
+            fmt_u64(s.live_count as u64),
+            fmt_u64(s.live_volume),
+            fmt_u64(s.footprint),
+            fmt_u64(s.structure_size),
+            fmt_u64(s.max_object_size),
+            fmt_u64(s.total_moves),
+            fmt_u64(s.total_moved_volume),
+            fmt2(s.max_settled_ratio),
+        ]
+    };
+    for s in &stats.per_shard {
+        table.row(row(s.shard.to_string(), s));
+    }
+    table.row(vec![
+        "Σ".into(),
+        fmt_u64(stats.requests()),
+        fmt_u64(stats.batches()),
+        fmt_u64(stats.live_count() as u64),
+        fmt_u64(stats.live_volume()),
+        fmt_u64(stats.footprint()),
+        fmt_u64(stats.structure_size()),
+        fmt_u64(stats.max_object_size()),
+        fmt_u64(stats.total_moves()),
+        fmt_u64(stats.total_moved_volume()),
+        fmt2(stats.worst_settled_ratio()),
+    ]);
+    table.print();
+    println!("(aggregate ratio column is the worst shard's settled ratio)");
+
+    println!(
+        "\nthroughput: {:.0} requests/sec ({} requests in {:.3}s, wall clock)",
+        workload.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        workload.len(),
+        elapsed.as_secs_f64()
+    );
+
+    println!("\n-- cost competitiveness over the union of shard ledgers --");
+    for f in storage_realloc::cost::standard_suite() {
+        let price = |w: u64| f.cost(w);
+        let alloc: f64 = finals
+            .iter()
+            .map(|s| s.ledger.total_alloc_cost(&price))
+            .sum();
+        let realloc: f64 = finals
+            .iter()
+            .map(|s| s.ledger.total_realloc_cost(&price))
+            .sum();
+        let ratio = if alloc == 0.0 { 0.0 } else { realloc / alloc };
+        println!("  {:>12}: {ratio:.3}", f.name());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]");
+            eprintln!(
+                "error: {e}\n\n\
+                 usage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]\n\
+                 \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--eps f] [--trace file | --churn vol ops] [--seed n]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -124,6 +296,10 @@ fn main() -> ExitCode {
         ),
     };
 
+    if args.algorithm == "engine" {
+        return run_engine(&args, &workload);
+    }
+
     let Some(mut algorithm) = make_algorithm(&args.algorithm, args.eps) else {
         eprintln!("error: unknown algorithm {:?}", args.algorithm);
         return ExitCode::FAILURE;
@@ -144,18 +320,28 @@ fn main() -> ExitCode {
     println!("\n-- space --");
     println!("final volume V:        {}", result.final_volume);
     println!("final structure:       {}", result.final_structure);
-    println!("max settled ratio:     {:.4}", ledger.max_settled_space_ratio());
+    println!(
+        "max settled ratio:     {:.4}",
+        ledger.max_settled_space_ratio()
+    );
     println!("∆ (largest object):    {}", result.delta);
 
     println!("\n-- movement --");
     println!("total reallocations:   {}", ledger.total_moves());
     println!("total moved volume:    {}", ledger.total_moved_volume());
-    println!("worst single request:  {} cells moved", ledger.max_op_moved_volume());
+    println!(
+        "worst single request:  {} cells moved",
+        ledger.max_op_moved_volume()
+    );
     println!("checkpoint barriers:   {}", ledger.total_checkpoints());
 
     println!("\n-- cost competitiveness (reallocation / allocation cost) --");
     for f in storage_realloc::cost::standard_suite() {
-        println!("  {:>12}: {:.3}", f.name(), ledger.cost_ratio(&|w| f.cost(w)));
+        println!(
+            "  {:>12}: {:.3}",
+            f.name(),
+            ledger.cost_ratio(&|w| f.cost(w))
+        );
     }
 
     if let Some(sim) = &result.sim {

@@ -31,17 +31,26 @@ impl RunConfig {
 
     /// Replay with memmove semantics (§2 algorithms).
     pub fn relaxed() -> Self {
-        RunConfig { replay: Some(Mode::Relaxed), crash_check: false }
+        RunConfig {
+            replay: Some(Mode::Relaxed),
+            crash_check: false,
+        }
     }
 
     /// Replay under the full database rules (§3 algorithms).
     pub fn strict() -> Self {
-        RunConfig { replay: Some(Mode::Strict), crash_check: false }
+        RunConfig {
+            replay: Some(Mode::Strict),
+            crash_check: false,
+        }
     }
 
     /// Strict replay plus a crash/recovery check after every request.
     pub fn strict_with_crashes() -> Self {
-        RunConfig { replay: Some(Mode::Strict), crash_check: true }
+        RunConfig {
+            replay: Some(Mode::Strict),
+            crash_check: true,
+        }
     }
 }
 
@@ -112,7 +121,9 @@ pub fn run_workload(
     for (i, req) in workload.requests.iter().enumerate() {
         let (kind, request_size, allocated, outcome) = match *req {
             Request::Insert { id, size } => {
-                let out = realloc.insert(id, size).map_err(|e| RunError::Realloc(i, e))?;
+                let out = realloc
+                    .insert(id, size)
+                    .map_err(|e| RunError::Realloc(i, e))?;
                 (OpKind::Insert, size, Some(size), out)
             }
             Request::Delete { id } => {
@@ -123,7 +134,8 @@ pub fn run_workload(
         };
 
         if let Some(sim) = sim.as_mut() {
-            sim.apply_all(&outcome.ops).map_err(|v| RunError::Substrate(i, v))?;
+            sim.apply_all(&outcome.ops)
+                .map_err(|v| RunError::Substrate(i, v))?;
             sim.verify_matches(|id| realloc.extent_of(id))
                 .map_err(|d| RunError::Divergence(i, d))?;
             if config.crash_check {
@@ -197,7 +209,10 @@ mod tests {
         let w = small_churn(3);
         let mut r = CostObliviousReallocator::new(0.5);
         let err = run_workload(&mut r, &w, RunConfig::strict());
-        assert!(matches!(err, Err(RunError::Substrate(..))), "expected a rules violation");
+        assert!(
+            matches!(err, Err(RunError::Substrate(..))),
+            "expected a rules violation"
+        );
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //! | [`common`] | `realloc-common` | shared types: ids, extents, ops, the [`Reallocator`](common::Reallocator) trait, cost ledger |
 //! | [`cost`] | `cost-model` | the `Fsa` cost-function suite + membership checks |
 //! | [`sim`] | `storage-sim` | block translation layer, checkpoint rules, crash recovery |
-//! | [`workloads`] | `workload-gen` | churn/trace/adversarial request generators |
+//! | [`workloads`] | `workload-gen` | churn/trace/adversarial request generators + the shard splitter |
 //! | [`baselines`] | `alloc-baselines` | first/best/next-fit, buddy, log-compact, size-class-gaps |
+//! | [`engine`] | `realloc-engine` | sharded, multi-threaded serving layer over any of the above |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use alloc_baselines as baselines;
 pub use cost_model as cost;
 pub use realloc_common as common;
 pub use realloc_core as core;
+pub use realloc_engine as engine;
 pub use storage_sim as sim;
 pub use workload_gen as workloads;
 
@@ -49,16 +51,16 @@ pub mod harness;
 /// One-stop imports for examples and experiments.
 pub mod prelude {
     pub use crate::baselines::{
-        BuddyAllocator, FitStrategy, FreeListAllocator, LogCompactAllocator,
-        SizeClassGapsAllocator,
+        BuddyAllocator, FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator,
     };
     pub use crate::common::{
-        Extent, Ledger, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
+        BoxedReallocator, Extent, Ledger, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
     };
     pub use crate::core::{
         defragment, CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator,
     };
     pub use crate::cost::{standard_suite, CostFn};
+    pub use crate::engine::{Engine, EngineConfig, EngineError, EngineStats, ShardStats};
     pub use crate::harness::{run_workload, RunConfig, RunResult};
     pub use crate::sim::{Mode, SimStore};
     pub use crate::workloads::{Request, Workload};

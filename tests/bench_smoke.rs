@@ -1,9 +1,12 @@
 //! Smoke coverage for the bench utilities (`realloc-bench`), so the table
-//! formatter and standard workloads are exercised by tier-1 `cargo test`
-//! instead of only by `cargo bench`.
+//! formatter, standard workloads, and the workload splitter the engine
+//! benches lean on are exercised by tier-1 `cargo test` instead of only by
+//! `cargo bench`.
 
 use realloc_bench::{banner, fmt2, fmt3, fmt_u64, standard_churn, verdict, Table};
+use storage_realloc::engine::shard_of;
 use storage_realloc::prelude::*;
+use storage_realloc::workloads::shard::split_with;
 
 /// `standard_churn` produces a well-formed workload that every variant can
 /// serve end to end, with deterministic output per seed.
@@ -36,7 +39,11 @@ fn standard_churn_drives_all_variants() {
 #[test]
 fn table_and_formatters_render() {
     let mut t = Table::new("smoke", &["algorithm", "ratio", "moves"]);
-    t.row(vec!["cost-oblivious".into(), fmt2(1.004), fmt_u64(1_234_567)]);
+    t.row(vec![
+        "cost-oblivious".into(),
+        fmt2(1.004),
+        fmt_u64(1_234_567),
+    ]);
     t.row(vec!["first-fit".into(), fmt3(2.5), verdict(false)]);
     let s = t.render();
     assert!(s.contains("== smoke =="));
@@ -52,4 +59,33 @@ fn table_and_formatters_render() {
 
     // The banner prints without panicking (output itself is cosmetic).
     banner("E0", "smoke test", "bench utilities are covered by tier-1");
+}
+
+/// The splitter behind `Engine::drive` (and the E13 engine bench): every
+/// request lands on exactly one shard, each per-shard stream is the
+/// original sequence filtered to that shard — which is precisely
+/// per-object order preservation — and each stream is independently
+/// well-formed (inserts before deletes, no duplicate ids).
+#[test]
+fn workload_splitter_preserves_per_object_order() {
+    let w = standard_churn(5_000, 2_000, 42);
+    for shards in [1usize, 3, 8] {
+        let parts = split_with(&w, shards, |id| shard_of(id, shards));
+        assert_eq!(parts.len(), shards);
+        assert_eq!(parts.iter().map(Workload::len).sum::<usize>(), w.len());
+        for (s, part) in parts.iter().enumerate() {
+            part.validate()
+                .unwrap_or_else(|i| panic!("shard {s}/{shards}: bad request at {i}"));
+            let filtered: Vec<Request> = w
+                .requests
+                .iter()
+                .copied()
+                .filter(|r| shard_of(r.id(), shards) == s)
+                .collect();
+            assert_eq!(
+                part.requests, filtered,
+                "shard {s}/{shards} reordered requests"
+            );
+        }
+    }
 }

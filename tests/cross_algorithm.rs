@@ -115,8 +115,14 @@ fn uniform_error_behaviour() {
             matches!(r.insert(ObjectId(1), 5), Err(ReallocError::DuplicateId(_))),
             "{name}"
         );
-        assert!(matches!(r.delete(ObjectId(99)), Err(ReallocError::UnknownId(_))), "{name}");
-        assert!(matches!(r.insert(ObjectId(2), 0), Err(ReallocError::ZeroSize)), "{name}");
+        assert!(
+            matches!(r.delete(ObjectId(99)), Err(ReallocError::UnknownId(_))),
+            "{name}"
+        );
+        assert!(
+            matches!(r.insert(ObjectId(2), 0), Err(ReallocError::ZeroSize)),
+            "{name}"
+        );
         // The failed requests must not have corrupted anything.
         assert_eq!(r.live_count(), 1, "{name}");
         assert_eq!(r.live_volume(), 10, "{name}");

@@ -24,7 +24,9 @@ fn drive_through(
             .apply_all(&outcome.ops)
             .unwrap_or_else(|v| panic!("{}: request {i}: {v}", r.name()));
         if i % verify_every == 0 {
-            store.verify_all().unwrap_or_else(|e| panic!("{}: request {i}: {e}", r.name()));
+            store
+                .verify_all()
+                .unwrap_or_else(|e| panic!("{}: request {i}: {e}", r.name()));
         }
     }
     store.verify_all().unwrap();
@@ -96,7 +98,12 @@ fn defrag_preserves_bytes() {
     for i in 0..300u64 {
         let size = 1 + (i * 17) % 200;
         let e = Extent::new(at, size);
-        store.apply(&StorageOp::Allocate { id: ObjectId(i), to: e }).unwrap();
+        store
+            .apply(&StorageOp::Allocate {
+                id: ObjectId(i),
+                to: e,
+            })
+            .unwrap();
         objects.push((ObjectId(i), e));
         at += size + (i % 13);
     }

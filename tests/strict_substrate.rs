@@ -58,7 +58,11 @@ fn deamortized_survives_crash_after_every_request() {
         let mut r = DeamortizedReallocator::new(0.25);
         let result = run_workload(&mut r, &w, RunConfig::strict_with_crashes())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        result.sim.unwrap().verify_matches(|id| r.extent_of(id)).unwrap();
+        result
+            .sim
+            .unwrap()
+            .verify_matches(|id| r.extent_of(id))
+            .unwrap();
     }
 }
 
@@ -75,7 +79,10 @@ fn amortized_violates_strict_rules() {
             break;
         }
     }
-    assert!(violated, "§2 algorithm unexpectedly satisfied the database rules");
+    assert!(
+        violated,
+        "§2 algorithm unexpectedly satisfied the database rules"
+    );
 }
 
 /// The §2 algorithm replays cleanly under relaxed (memmove) semantics —
@@ -86,7 +93,11 @@ fn amortized_replays_relaxed_everywhere() {
         let mut r = CostObliviousReallocator::new(0.25);
         let result = run_workload(&mut r, &w, RunConfig::relaxed())
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        result.sim.unwrap().verify_matches(|id| r.extent_of(id)).unwrap();
+        result
+            .sim
+            .unwrap()
+            .verify_matches(|id| r.extent_of(id))
+            .unwrap();
     }
 }
 

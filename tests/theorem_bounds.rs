@@ -8,7 +8,10 @@ use storage_realloc::workloads::trace::{block_rewrites, sawtooth};
 
 fn churn_workload(seed: u64) -> Workload {
     churn(&ChurnConfig {
-        dist: SizeDist::ClassPowerLaw { classes: 9, decay: 0.7 },
+        dist: SizeDist::ClassPowerLaw {
+            classes: 9,
+            decay: 0.7,
+        },
         target_volume: 20_000,
         churn_ops: 8_000,
         seed,
@@ -114,7 +117,10 @@ fn checkpoints_scale_linearly_in_inverse_eps() {
     let tight = max_cp(0.0625);
     assert!(loose >= 1.0);
     // 8x tighter ε may use at most ~8x more checkpoints (3x slack).
-    assert!(tight <= loose * 8.0 * 3.0, "checkpoints grew superlinearly: {loose} -> {tight}");
+    assert!(
+        tight <= loose * 8.0 * 3.0,
+        "checkpoints grew superlinearly: {loose} -> {tight}"
+    );
 }
 
 /// Chained-flush stress: a stream of ever-larger new-largest-class inserts
@@ -139,7 +145,10 @@ fn deamortized_survives_escalating_class_chains() {
     for k in 5..15u32 {
         let out = insert(&mut r, 1u64 << k);
         let bound = r.eps().pump_quota(1 << k) + r.max_object_size();
-        assert!(out.moved_volume() <= bound, "class {k}: worst-case bound broken");
+        assert!(
+            out.moved_volume() <= bound,
+            "class {k}: worst-case bound broken"
+        );
         for _ in 0..5 {
             insert(&mut r, 3);
         }
@@ -154,9 +163,7 @@ fn deamortized_survives_escalating_class_chains() {
     for k in 5..15u32 {
         let size = 1u64 << k;
         assert!(
-            (0..total).any(|n| r
-                .extent_of(ObjectId(n))
-                .is_some_and(|e| e.len == size)),
+            (0..total).any(|n| r.extent_of(ObjectId(n)).is_some_and(|e| e.len == size)),
             "lost the class-{k} object"
         );
     }
@@ -189,7 +196,9 @@ fn no_object_is_ever_lost() {
         // quiesce so liveness matches the reference model exactly.
         r.quiesce();
         for (&id, &size) in &live {
-            let e = r.extent_of(id).unwrap_or_else(|| panic!("{} lost {id}", r.name()));
+            let e = r
+                .extent_of(id)
+                .unwrap_or_else(|| panic!("{} lost {id}", r.name()));
             assert_eq!(e.len, size, "{}: {id} changed size", r.name());
         }
         assert_eq!(r.live_count(), live.len());

@@ -41,7 +41,12 @@ impl Criterion {
         let name = name.into();
         let sample_size = self.sample_size;
         println!("\nbenchmark group: {name}");
-        BenchmarkGroup { _criterion: self, name, sample_size, throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
     }
 }
 
@@ -63,12 +68,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id rendered as `function_name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id rendered as just the parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -118,9 +127,17 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
         f(&mut b);
-        let mean = if b.iters == 0 { Duration::ZERO } else { b.total / b.iters as u32 };
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
         let rate = match (self.throughput, mean.as_secs_f64()) {
             (Some(Throughput::Elements(n)), s) if s > 0.0 => {
                 format!("  ({:.0} elem/s)", n as f64 / s)
@@ -130,7 +147,10 @@ impl BenchmarkGroup<'_> {
             }
             _ => String::new(),
         };
-        println!("  {}/{}: {:?}/iter over {} iters{rate}", self.name, id, mean, b.iters);
+        println!(
+            "  {}/{}: {:?}/iter over {} iters{rate}",
+            self.name, id, mean, b.iters
+        );
         self
     }
 
@@ -203,7 +223,10 @@ mod tests {
 
     #[test]
     fn benchmark_id_formats() {
-        assert_eq!(BenchmarkId::new("algo", "eps=0.5").to_string(), "algo/eps=0.5");
+        assert_eq!(
+            BenchmarkId::new("algo", "eps=0.5").to_string(),
+            "algo/eps=0.5"
+        );
         assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
     }
 }

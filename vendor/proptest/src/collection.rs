@@ -46,7 +46,10 @@ pub struct VecStrategy<S> {
 /// Generates vectors whose elements come from `element` and whose lengths
 /// are uniform over `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {

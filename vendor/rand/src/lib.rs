@@ -61,8 +61,12 @@ impl<T: RngCore + ?Sized> Rng for T {}
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
     /// (`inclusive = true`). The range is known non-empty.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Ranges a `T` can be uniformly sampled from.
@@ -242,7 +246,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
         }
     }
 
