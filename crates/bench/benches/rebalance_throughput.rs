@@ -1,0 +1,104 @@
+//! E14 — serving throughput under skewed deletes: hash vs table routing,
+//! with and without cross-shard rebalancing (our addition; the paper has
+//! no serving layer).
+//!
+//! The skewed-delete churn spares every object routed to shard 0, so the
+//! hot shard's volume `V_0` grows while the rest drain — the regime where
+//! a stateless hash router is stuck (its map is frozen) and the
+//! `TableRouter` + `Engine::rebalance` pairing earns its keep. The
+//! criterion group measures the serving cost of each configuration; the
+//! printed summary reports the imbalance each one *ends* with, which is
+//! the real deliverable: periodic rebalancing holds `max V_i / mean V_i`
+//! near 1 for a small migration overhead, while the unbalanced runs drift
+//! toward `N`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use realloc_common::{Reallocator, Router, TableRouter};
+use realloc_core::CostObliviousReallocator;
+use realloc_engine::{shard_of, Engine, EngineConfig, RebalanceOptions};
+use workload_gen::churn::{skewed_churn, ChurnConfig};
+use workload_gen::dist::SizeDist;
+use workload_gen::Workload;
+
+const EPS: f64 = 0.125;
+const SHARDS: usize = 4;
+/// Requests between rebalances in the rebalancing configurations.
+const REBALANCE_EVERY: usize = 4_096;
+
+fn skewed_workload(route_keep: impl FnMut(realloc_common::ObjectId) -> bool) -> Workload {
+    skewed_churn(
+        &ChurnConfig {
+            dist: SizeDist::Uniform { lo: 1, hi: 64 },
+            target_volume: 50_000,
+            churn_ops: 25_000,
+            seed: 77,
+        },
+        route_keep,
+    )
+}
+
+fn engine(table: bool) -> Engine {
+    let factory =
+        |_shard: usize| Box::new(CostObliviousReallocator::new(EPS)) as Box<dyn Reallocator + Send>;
+    let config = EngineConfig::with_shards(SHARDS);
+    if table {
+        Engine::with_router(config, Box::new(TableRouter::new(SHARDS)), factory)
+    } else {
+        Engine::new(config, factory)
+    }
+}
+
+/// Serves `workload`, rebalancing every `REBALANCE_EVERY` requests when
+/// `rebalance` is set. Returns the final imbalance ratio.
+fn run(workload: &Workload, table: bool, rebalance: bool) -> f64 {
+    let mut e = engine(table);
+    let chunk = if rebalance {
+        REBALANCE_EVERY
+    } else {
+        workload.len().max(1)
+    };
+    for seg in workload.requests.chunks(chunk) {
+        e.drive(&Workload::new("seg", seg.to_vec())).expect("drive");
+        if rebalance {
+            e.rebalance(RebalanceOptions::default()).expect("rebalance");
+        }
+    }
+    e.quiesce().expect("quiesce").imbalance_ratio()
+}
+
+fn rebalance_throughput(c: &mut Criterion) {
+    // Each router sees skew keyed to its *own* routing, so both end up with
+    // a comparably hot shard 0.
+    let hash_workload = skewed_workload(|id| shard_of(id, SHARDS) == 0);
+    let probe = TableRouter::new(SHARDS);
+    let table_workload = skewed_workload(|id| probe.route(id) == 0);
+    let n = hash_workload.len() as u64;
+
+    let mut group = c.benchmark_group("skewed_delete_serving");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("hash", "no-rebalance"), |b| {
+        b.iter(|| run(&hash_workload, false, false))
+    });
+    group.bench_function(BenchmarkId::new("table", "no-rebalance"), |b| {
+        b.iter(|| run(&table_workload, true, false))
+    });
+    group.bench_function(BenchmarkId::new("table", "rebalance"), |b| {
+        b.iter(|| run(&table_workload, true, true))
+    });
+    group.finish();
+
+    let hash_imbalance = run(&hash_workload, false, false);
+    let drift_imbalance = run(&table_workload, true, false);
+    let held_imbalance = run(&table_workload, true, true);
+    println!(
+        "  skewed_delete summary: final imbalance — hash {hash_imbalance:.2}, \
+         table w/o rebalance {drift_imbalance:.2}, \
+         table rebalancing every {REBALANCE_EVERY} reqs {held_imbalance:.2} \
+         [targets: drift > 2, held < 1.25: {}]",
+        realloc_bench::verdict(hash_imbalance > 2.0 && held_imbalance < 1.25),
+    );
+}
+
+criterion_group!(benches, rebalance_throughput);
+criterion_main!(benches);

@@ -16,6 +16,20 @@ pub enum OpKind {
     Insert,
     /// A `DELETEOBJECT` request.
     Delete,
+    /// A cross-shard migration leaving this instance (delete-on-source half
+    /// of a rebalance/resize transfer). Not a client request: the object
+    /// stays alive, just elsewhere, so nothing is allocated or freed from
+    /// the client's point of view.
+    MigrateOut,
+    /// A cross-shard migration arriving at this instance (insert-on-target
+    /// half). The transfer itself is a *reallocation* — the object was
+    /// already allocated once in its life — so its size belongs in
+    /// `moved_sizes`, never in `allocated`.
+    MigrateIn,
+    /// A Theorem 2.7 defragmentation pass over this instance's live
+    /// objects; `moved_sizes` carries the schedule's moves so the pass is
+    /// priceable under any cost function like everything else.
+    Defrag,
 }
 
 /// Ledger entry for one request.
@@ -88,6 +102,15 @@ impl Ledger {
             volume_after,
             delta_after,
         });
+    }
+
+    /// Appends a pre-built record. The serve path goes through
+    /// [`record`](Self::record); migration and defrag passes build their own
+    /// [`OpRecord`]s (their move accounting is not derivable from a single
+    /// [`Outcome`] — e.g. a cross-shard transfer adds the object itself to
+    /// `moved_sizes`) and push them here.
+    pub fn push(&mut self, record: OpRecord) {
+        self.records.push(record);
     }
 
     /// All records in request order.
@@ -317,6 +340,29 @@ mod tests {
         assert_eq!(ledger.cost_ratio(&|w| w as f64), 0.0);
         assert_eq!(ledger.max_op_moved_volume(), 0);
         assert_eq!(ledger.max_settled_space_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pushed_migration_records_price_as_reallocations() {
+        let mut ledger = sample_ledger();
+        // A migrated-in 6-cell object: the transfer is a move, not an
+        // allocation, so it lands in realloc cost only.
+        ledger.push(OpRecord {
+            kind: OpKind::MigrateIn,
+            request_size: 6,
+            allocated: None,
+            moved_sizes: vec![6],
+            checkpoints: 0,
+            structure_after: 19,
+            peak_during: 19,
+            volume_after: 14,
+            delta_after: 8,
+        });
+        let linear = |w: u64| w as f64;
+        assert_eq!(ledger.total_alloc_cost(&linear), 12.0, "alloc unchanged");
+        assert_eq!(ledger.total_realloc_cost(&linear), 18.0);
+        assert_eq!(ledger.total_moved_volume(), 18);
+        assert_eq!(ledger.len(), 4);
     }
 
     #[test]

@@ -15,16 +15,23 @@
 //!   are *cost oblivious*, a single run's move log can be priced under any
 //!   number of cost functions after the fact; the ledger records exactly the
 //!   data needed for that.
+//! * [`Router`] — the pluggable id → shard routing layer a sharded serving
+//!   stack speaks (stateless hash or explicit table over a rendezvous
+//!   fallback). Lives here, not in the engine crate, so workload tooling
+//!   can split request streams with a `&dyn Router` without a dependency
+//!   cycle.
 
 pub mod extent;
 pub mod ledger;
 pub mod ops;
 pub mod realloc;
+pub mod router;
 
 pub use extent::Extent;
 pub use ledger::{Ledger, OpKind, OpRecord};
 pub use ops::{Outcome, StorageOp};
 pub use realloc::{BoxedReallocator, ReallocError, Reallocator};
+pub use router::{rendezvous_shard, shard_of, HashRouter, Router, TableRouter};
 
 // The serving layer (`realloc-engine`) moves outcomes, ledgers, and boxed
 // reallocators across threads; keep the vocabulary types `Send` by
@@ -39,6 +46,8 @@ const _: () = {
     assert_send::<Ledger>();
     assert_send::<OpRecord>();
     assert_send::<ReallocError>();
+    assert_send::<HashRouter>();
+    assert_send::<TableRouter>();
 };
 
 /// The immutable name of a stored object.

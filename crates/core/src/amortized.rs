@@ -51,6 +51,12 @@ impl CostObliviousReallocator {
         self.layout.eps()
     }
 
+    /// One-call snapshot of the volume accounting (see
+    /// [`VolumeSummary`](crate::layout::VolumeSummary)).
+    pub fn volume_summary(&self) -> crate::layout::VolumeSummary {
+        self.layout.volume_summary()
+    }
+
     /// Number of buffer flushes performed so far.
     /// Number of buffer flushes performed (or started) so far.
     pub fn flush_count(&self) -> u64 {

@@ -160,6 +160,13 @@ impl DeamortizedReallocator {
         self.layout.eps()
     }
 
+    /// One-call snapshot of the volume accounting (see
+    /// [`VolumeSummary`](crate::layout::VolumeSummary)). Pending deletes
+    /// still count as live until drained, matching every other accessor.
+    pub fn volume_summary(&self) -> crate::layout::VolumeSummary {
+        self.layout.volume_summary()
+    }
+
     /// Number of buffer flushes performed (or started) so far.
     pub fn flush_count(&self) -> u64 {
         self.flushes
@@ -345,14 +352,8 @@ impl DeamortizedReallocator {
                 let mv = phase[job.move_idx];
                 job.move_idx += 1;
                 ops.push(mv.op());
-                // Keep the index exact mid-flush.
-                let entry = self
-                    .layout
-                    .index
-                    .get_mut(&mv.id)
-                    .expect("planned object is active");
-                entry.offset = mv.to.offset;
-                entry.place = mv.dest;
+                // Keep the index (and its extent order) exact mid-flush.
+                self.layout.relocate_entry(mv.id, mv.to.offset, mv.dest);
                 quota = quota.saturating_sub(mv.to.len);
             }
 
@@ -516,7 +517,10 @@ impl DeamortizedReallocator {
                 self.layout.detach_object(id);
             }
             Place::Tail => {
-                self.layout.index.remove(&id);
+                // `remove_entry`, not a raw map remove: the entry is marked
+                // pending, and its share of `pending_volume` (plus its slot
+                // in the footprint cache) must be released with it.
+                self.layout.remove_entry(id);
                 self.tail.tombstone(entry.offset);
             }
             Place::Staging | Place::Log => {
@@ -701,7 +705,7 @@ impl Reallocator for DeamortizedReallocator {
                     });
                 }
                 Place::Tail => {
-                    self.layout.index.remove(&id);
+                    self.layout.remove_entry(id);
                     self.tail.tombstone(entry.offset);
                     ops.push(StorageOp::Free {
                         id,

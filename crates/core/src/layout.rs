@@ -6,6 +6,7 @@
 //! *buffer segment*. Regions for classes that have never held an object have
 //! zero space. All offsets stored here are absolute addresses.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 
 use realloc_common::{size_class, Extent, ObjectId};
@@ -193,6 +194,26 @@ pub struct RegionView {
     pub buffer_entries: usize,
 }
 
+/// One-call snapshot of a layout's volume accounting — the quantities every
+/// space lemma speaks in, each read from incrementally maintained state
+/// (no scans). The serving layer's rebalancer and per-shard replay tooling
+/// read this instead of poking at individual accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeSummary {
+    /// Live volume `V` (active objects, pending deletes included).
+    pub live: u64,
+    /// Volume excluding pending deletes (drives flush sizing).
+    pub settled: u64,
+    /// Volume of objects whose delete is logged but not yet drained.
+    pub pending: u64,
+    /// Number of active objects.
+    pub objects: usize,
+    /// `∆`: the largest object size ever inserted.
+    pub delta: u64,
+    /// One past the last object — the paper's footprint.
+    pub footprint: u64,
+}
+
 /// The region layout plus the object index — everything Invariant 2.2
 /// constrains.
 #[derive(Debug, Clone)]
@@ -212,6 +233,21 @@ pub struct Layout {
     pub(crate) pending_volume: u64,
     /// `∆`: largest object size ever inserted.
     pub(crate) delta: u64,
+    /// Cached `max over the index of extent end` — the paper's footprint —
+    /// maintained incrementally (like `pending_volume` is for
+    /// `live_volume`) so `last_object_end` reads are O(1) instead of a
+    /// scan over live objects. Writes that can only *raise* the max update
+    /// the cache in place; a write that removes or lowers the
+    /// frontier-defining entry flips `footprint_dirty` instead, and the
+    /// next read rescans once. Eager ordered structures (a `BTreeSet` of
+    /// ends, then a lazy max-heap) were tried first and measurably
+    /// throttled the serve path — every flush reindexes its whole suffix,
+    /// so per-write cost is what matters. Cross-checked by `validate`.
+    pub(crate) footprint_cache: Cell<u64>,
+    /// Whether `footprint_cache` may overstate the footprint (the entry
+    /// that defined it was removed or moved down) and the next read must
+    /// rescan.
+    pub(crate) footprint_dirty: Cell<bool>,
 }
 
 impl Layout {
@@ -225,6 +261,8 @@ impl Layout {
             volume: 0,
             pending_volume: 0,
             delta: 0,
+            footprint_cache: Cell::new(0),
+            footprint_dirty: Cell::new(false),
         }
     }
 
@@ -254,13 +292,47 @@ impl Layout {
     }
 
     /// End of the last *object* (the paper's footprint; `<= regions_end()`
-    /// except for transient mid-flush placements).
+    /// except for transient mid-flush placements). O(1) on the vast
+    /// majority of calls: the max is tracked incrementally by every index
+    /// write (see `footprint_cache`); only a call following the removal —
+    /// or downward move — of the frontier-defining object rescans, so
+    /// per-request callers no longer pay O(live objects) per query.
     pub fn last_object_end(&self) -> u64 {
-        self.index
-            .values()
-            .map(|e| e.extent().end())
-            .max()
-            .unwrap_or(0)
+        if self.footprint_dirty.get() {
+            let max = self
+                .index
+                .values()
+                .map(|e| e.extent().end())
+                .max()
+                .unwrap_or(0);
+            self.footprint_cache.set(max);
+            self.footprint_dirty.set(false);
+        }
+        self.footprint_cache.get()
+    }
+
+    /// Folds one index write into the footprint cache: `old_end` is the
+    /// entry's previous extent end (`None` for a fresh entry). O(1).
+    fn note_end_write(&self, old_end: Option<u64>, new_end: u64) {
+        if let Some(old) = old_end {
+            // Shrinking the frontier entry invalidates the cached max
+            // (>= rather than ==: transient mid-flush placements may alias
+            // the frontier address, and a stale `dirty` only costs a scan).
+            if old > new_end && old >= self.footprint_cache.get() {
+                self.footprint_dirty.set(true);
+                return;
+            }
+        }
+        if new_end > self.footprint_cache.get() {
+            self.footprint_cache.set(new_end);
+        }
+    }
+
+    /// Folds one index removal into the footprint cache. O(1).
+    fn note_end_removal(&self, end: u64) {
+        if end >= self.footprint_cache.get() {
+            self.footprint_dirty.set(true);
+        }
     }
 
     /// Live volume (active objects, pending deletes included). O(1): the
@@ -287,6 +359,18 @@ impl Layout {
     /// Current placement of an active object.
     pub fn extent_of(&self, id: ObjectId) -> Option<Extent> {
         self.index.get(&id).map(Entry::extent)
+    }
+
+    /// Snapshot of the volume accounting (see [`VolumeSummary`]).
+    pub fn volume_summary(&self) -> VolumeSummary {
+        VolumeSummary {
+            live: self.live_volume(),
+            settled: self.settled_volume(),
+            pending: self.pending_volume,
+            objects: self.live_count(),
+            delta: self.delta(),
+            footprint: self.last_object_end(),
+        }
     }
 
     /// Read-only region views in class order.
@@ -419,10 +503,7 @@ impl Layout {
     /// (payload) or a tombstone (buffer/tail). Returns its former entry.
     /// Does not touch volume accounting.
     pub(crate) fn detach_object(&mut self, id: ObjectId) -> Option<Entry> {
-        let entry = self.index.remove(&id)?;
-        if entry.pending_delete {
-            self.pending_volume -= entry.size;
-        }
+        let entry = self.remove_entry(id)?;
         match entry.place {
             Place::Payload => {
                 let region = &mut self.regions[entry.class as usize];
@@ -448,19 +529,51 @@ impl Layout {
         Some(entry)
     }
 
-    /// Inserts (or replaces) an index entry, keeping `pending_volume`
-    /// exact: counts the new entry if marked pending and uncounts any
-    /// replaced one. Every index write goes through here or
-    /// [`Self::detach_object`] / [`Self::mark_pending_delete`].
+    /// Inserts (or replaces) an index entry, keeping `pending_volume` and
+    /// the footprint cache exact: counts the new entry if marked pending
+    /// and uncounts any replaced one. Every index write goes through here
+    /// or [`Self::remove_entry`] / [`Self::relocate_entry`] /
+    /// [`Self::mark_pending_delete`].
     pub(crate) fn insert_entry(&mut self, id: ObjectId, entry: Entry) {
         if entry.pending_delete {
             self.pending_volume += entry.size;
         }
-        if let Some(old) = self.index.insert(id, entry) {
+        let end = entry.extent().end();
+        let old_end = self.index.insert(id, entry).map(|old| {
             if old.pending_delete {
                 self.pending_volume -= old.size;
             }
+            old.extent().end()
+        });
+        self.note_end_write(old_end, end);
+    }
+
+    /// Removes an object from the index only (no segment bookkeeping —
+    /// callers managing variant-specific segments use this; everything else
+    /// goes through [`Self::detach_object`]). Keeps `pending_volume` and
+    /// the footprint cache exact. Returns the former entry.
+    pub(crate) fn remove_entry(&mut self, id: ObjectId) -> Option<Entry> {
+        let entry = self.index.remove(&id)?;
+        if entry.pending_delete {
+            self.pending_volume -= entry.size;
         }
+        self.note_end_removal(entry.extent().end());
+        Some(entry)
+    }
+
+    /// Moves an indexed object to `offset` in segment `place` without
+    /// touching volume accounting (the incremental mid-flush executor's
+    /// per-move index update).
+    ///
+    /// # Panics
+    /// Panics if `id` is not indexed.
+    pub(crate) fn relocate_entry(&mut self, id: ObjectId, offset: u64, place: Place) {
+        let entry = self.index.get_mut(&id).expect("relocated object is active");
+        let old_end = entry.extent().end();
+        entry.offset = offset;
+        entry.place = place;
+        let new_end = entry.extent().end();
+        self.note_end_write(Some(old_end), new_end);
     }
 
     /// Marks an active object pending-delete (deamortized log semantics:
@@ -712,6 +825,111 @@ mod tests {
         assert_eq!(region.buffer.len(), 1);
         assert_eq!(region.buffer[0].kind, BufKind::Tombstone);
         assert_eq!(region.buffer_used, 3, "tombstone still consumes space");
+    }
+
+    /// Recomputes the footprint the old O(n) way — the oracle for the
+    /// incrementally tracked cache.
+    fn scanned_footprint(l: &Layout) -> u64 {
+        l.index
+            .values()
+            .map(|e| e.extent().end())
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn last_object_end_tracks_index_writes_incrementally() {
+        let mut l = Layout::new(eps());
+        assert_eq!(l.last_object_end(), 0);
+        let k = l.account_insert(6);
+        l.regions[k as usize].payload_space = 40;
+        l.attach_payload(ObjectId(1), 6, k, 0);
+        let k2 = l.account_insert(4);
+        assert_eq!(k2, k);
+        l.attach_payload(ObjectId(2), 4, k, 20);
+        assert_eq!(l.last_object_end(), 24);
+        assert_eq!(l.last_object_end(), scanned_footprint(&l));
+
+        // Relocation moves the max.
+        l.relocate_entry(ObjectId(1), 30, Place::Payload);
+        assert_eq!(l.last_object_end(), 36);
+        assert_eq!(l.last_object_end(), scanned_footprint(&l));
+
+        // Removing the last object reveals the runner-up (removal dirties
+        // the cache; the next read rescans).
+        l.remove_entry(ObjectId(1)).unwrap();
+        assert_eq!(l.last_object_end(), 24);
+        assert_eq!(l.last_object_end(), scanned_footprint(&l));
+        l.remove_entry(ObjectId(2)).unwrap();
+        assert_eq!(l.last_object_end(), 0);
+    }
+
+    #[test]
+    fn replacement_and_reuse_keep_the_footprint_exact() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(5);
+        l.regions[k as usize].payload_space = 30;
+        l.attach_payload(ObjectId(1), 5, k, 0);
+        // Reattach the same object elsewhere (what a flush finalize does).
+        l.attach_payload(ObjectId(1), 5, k, 10);
+        assert_eq!(l.last_object_end(), 15);
+        // Move it back down: the cached 15 must be invalidated.
+        l.attach_payload(ObjectId(1), 5, k, 0);
+        assert_eq!(l.last_object_end(), 5);
+        assert_eq!(l.last_object_end(), scanned_footprint(&l));
+    }
+
+    #[test]
+    fn footprint_reads_are_cached_between_frontier_changes() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(4);
+        l.regions[k as usize].payload_space = 40;
+        l.attach_payload(ObjectId(1), 4, k, 0);
+        let k2 = l.account_insert(4);
+        l.attach_payload(ObjectId(2), 4, k2, 20);
+        assert_eq!(l.last_object_end(), 24);
+        // Non-frontier churn keeps the cache clean (no rescan pending).
+        l.relocate_entry(ObjectId(1), 4, Place::Payload);
+        assert!(!l.footprint_dirty.get(), "non-frontier move dirtied cache");
+        assert_eq!(l.last_object_end(), 24);
+        // Moving the frontier *down* invalidates; the next read rescans.
+        l.relocate_entry(ObjectId(2), 10, Place::Payload);
+        assert!(l.footprint_dirty.get(), "frontier shrink must invalidate");
+        assert_eq!(l.last_object_end(), 14);
+        assert!(!l.footprint_dirty.get(), "read settles the cache");
+        assert_eq!(l.last_object_end(), scanned_footprint(&l));
+    }
+
+    #[test]
+    fn remove_entry_releases_pending_volume() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(6);
+        l.regions[k as usize].payload_space = 6;
+        l.attach_payload(ObjectId(1), 6, k, 0);
+        l.mark_pending_delete(ObjectId(1));
+        assert_eq!(l.live_volume(), l.settled_volume() + 6);
+        l.remove_entry(ObjectId(1)).unwrap();
+        assert_eq!(l.pending_volume, 0, "pending share must not leak");
+        assert_eq!(l.last_object_end(), 0);
+    }
+
+    #[test]
+    fn volume_summary_reflects_accounting() {
+        let mut l = Layout::new(eps());
+        let k = l.account_insert(6);
+        l.regions[k as usize].payload_space = 20;
+        l.attach_payload(ObjectId(1), 6, k, 0);
+        let k2 = l.account_insert(4);
+        l.attach_payload(ObjectId(2), 4, k2, 6);
+        l.account_delete(4, k2);
+        l.mark_pending_delete(ObjectId(2));
+        let s = l.volume_summary();
+        assert_eq!(s.settled, 6);
+        assert_eq!(s.pending, 4);
+        assert_eq!(s.live, 10);
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.delta, 6);
+        assert_eq!(s.footprint, 10);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use amortized::CostObliviousReallocator;
 pub use checkpointed::CheckpointedReallocator;
 pub use deamortized::DeamortizedReallocator;
 pub use defrag::{defragment, DefragReport};
-pub use layout::{Eps, RegionView};
+pub use layout::{Eps, RegionView, VolumeSummary};
 pub use validate::InvariantViolation;
 
 // Every paper variant must stay `Send` so the sharded serving layer

@@ -254,6 +254,24 @@ pub fn check_invariants(layout: &Layout) -> Result<(), InvariantViolation> {
         });
     }
 
+    // The incrementally tracked footprint cache must agree with a full
+    // scan over the index (the cache may be pending a rescan, but what it
+    // surfaces must be the true maximum).
+    let scanned_footprint = layout
+        .index
+        .values()
+        .map(|e| e.extent().end())
+        .max()
+        .unwrap_or(0);
+    if layout.last_object_end() != scanned_footprint {
+        return Err(InvariantViolation::BadAccounting {
+            detail: format!(
+                "footprint index drifted: cached {} vs scanned {scanned_footprint}",
+                layout.last_object_end()
+            ),
+        });
+    }
+
     // Pairwise disjointness via sort-and-adjacent-check.
     extents.sort_unstable();
     for pair in extents.windows(2) {

@@ -1,12 +1,16 @@
-//! The engine front-end: routing, batching, barriers, aggregation.
+//! The engine front-end: routing, batching, barriers, aggregation,
+//! cross-shard rebalancing, and live shard-count resizing.
 
+use std::collections::HashSet;
 use std::sync::mpsc::{self, SyncSender};
 use std::thread::JoinHandle;
 
-use realloc_common::{Extent, ObjectId, ReallocError, Reallocator};
+use realloc_common::{BoxedReallocator, Extent, HashRouter, ObjectId, ReallocError, Router};
 use workload_gen::{Request, Workload};
 
-use crate::route::shard_of;
+use crate::rebalance::{
+    plan_rebalance, Migration, RebalanceOptions, RebalanceReport, ResizeReport,
+};
 use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
 use crate::stats::EngineStats;
 
@@ -15,6 +19,7 @@ use crate::stats::EngineStats;
 pub struct EngineConfig {
     /// Number of shards (worker threads). Each owns an independent
     /// reallocator, so the aggregate footprint bound is `(1+ε)·Σ V_i`.
+    /// Changes at runtime through [`Engine::resize_shards`].
     pub shards: usize,
     /// Requests per channel message. Larger batches amortize channel
     /// overhead; smaller ones reduce barrier latency. One channel round
@@ -82,6 +87,14 @@ pub enum EngineError {
         /// The dead shard.
         shard: usize,
     },
+    /// [`Engine::rebalance`] was asked to re-home objects through a router
+    /// with no assignment table (e.g. the stateless hash router, whose map
+    /// is frozen). Build the engine with [`Engine::with_router`] and a
+    /// [`TableRouter`](realloc_common::TableRouter) to rebalance.
+    FixedRouting {
+        /// `Router::name()` of the router that cannot pin ids.
+        router: &'static str,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -95,60 +108,143 @@ impl std::fmt::Display for EngineError {
                 write!(f, "shard {shard} rejected its request #{index}: {error}")
             }
             EngineError::ShardDown { shard } => write!(f, "shard {shard} worker is gone"),
+            EngineError::FixedRouting { router } => {
+                write!(
+                    f,
+                    "router {router:?} cannot pin ids to shards; rebalancing needs a table router"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
+/// Internal result of executing a migration plan (see [`Engine::migrate`]).
+#[derive(Default)]
+struct MigrationOutcome {
+    /// `(id, size, target)` of every transfer whose outbound *and* inbound
+    /// halves completed.
+    completed: Vec<(ObjectId, u64, usize)>,
+    /// `(id, source)` of every transfer whose source refused to release the
+    /// object — it still physically lives there, and callers that changed
+    /// the routing basis must re-pin it.
+    stranded: Vec<(ObjectId, usize)>,
+    /// First rejection observed across both phases (if any). Surfaced by
+    /// the caller only after the routing table matches physical ownership.
+    first_error: Option<(usize, ShardError)>,
+}
+
+impl MigrationOutcome {
+    fn note_error(&mut self, shard: usize, error: Option<ShardError>) {
+        if self.first_error.is_none() {
+            if let Some(err) = error {
+                self.first_error = Some((shard, err));
+            }
+        }
+    }
+
+    fn surface(&self) -> Result<(), EngineError> {
+        match self.first_error {
+            Some((shard, err)) => Err(EngineError::Request {
+                shard,
+                index: err.index,
+                error: err.error,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        (
+            self.completed.len() as u64,
+            self.completed.iter().map(|&(_, size, _)| size).sum(),
+        )
+    }
+}
+
 /// A sharded, multi-threaded reallocation service.
 ///
 /// See the [crate docs](crate) for the architecture. Construct with
-/// [`Engine::new`], feed with [`insert`](Engine::insert) /
+/// [`Engine::new`] (stateless hash routing) or [`Engine::with_router`]
+/// (any [`Router`]), feed with [`insert`](Engine::insert) /
 /// [`delete`](Engine::delete) (or [`drive`](Engine::drive) for a whole
 /// workload), observe with [`snapshot`](Engine::snapshot) /
-/// [`quiesce`](Engine::quiesce), and finish with
-/// [`shutdown`](Engine::shutdown) to collect per-shard ledgers. Dropping
-/// an engine without `shutdown` joins its workers and discards results.
+/// [`quiesce`](Engine::quiesce), re-home volume with
+/// [`rebalance`](Engine::rebalance) / [`resize_shards`](Engine::resize_shards),
+/// and finish with [`shutdown`](Engine::shutdown) to collect per-shard
+/// ledgers. Dropping an engine without `shutdown` joins its workers and
+/// discards results.
 pub struct Engine {
     config: EngineConfig,
+    router: Box<dyn Router>,
     senders: Vec<SyncSender<Command>>,
     workers: Vec<JoinHandle<()>>,
     /// Per-shard batch under construction (not yet sent).
     pending: Vec<Vec<Request>>,
+    /// Finals of shards retired by a shrinking resize, so their ledgers and
+    /// stats survive until [`shutdown`](Engine::shutdown).
+    retired: Vec<ShardFinal>,
 }
 
 impl Engine {
-    /// Spawns `config.shards` worker threads; `factory(shard)` builds each
-    /// shard's reallocator (any `Reallocator + Send` — paper variants,
-    /// baselines, or a mix).
+    /// Spawns `config.shards` worker threads behind the default stateless
+    /// [`HashRouter`]; `factory(shard)` builds each shard's reallocator
+    /// (any `Reallocator + Send` — paper variants, baselines, or a mix).
     ///
     /// # Panics
     /// Panics if `config.shards` or `config.batch` is zero.
-    pub fn new<F>(config: EngineConfig, mut factory: F) -> Engine
+    pub fn new<F>(config: EngineConfig, factory: F) -> Engine
     where
-        F: FnMut(usize) -> Box<dyn Reallocator + Send>,
+        F: FnMut(usize) -> BoxedReallocator,
+    {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        Engine::with_router(config, Box::new(HashRouter::new(config.shards)), factory)
+    }
+
+    /// Like [`Engine::new`], but routing through `router` (whose shard
+    /// count must match `config.shards`). Pass a
+    /// [`TableRouter`](realloc_common::TableRouter) to enable
+    /// [`rebalance`](Engine::rebalance).
+    ///
+    /// # Panics
+    /// Panics if `config.shards` or `config.batch` is zero, or if the
+    /// router targets a different shard count.
+    pub fn with_router<F>(config: EngineConfig, router: Box<dyn Router>, mut factory: F) -> Engine
+    where
+        F: FnMut(usize) -> BoxedReallocator,
     {
         assert!(config.shards > 0, "engine needs at least one shard");
         assert!(config.batch > 0, "batch size must be positive");
-        let mut senders = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
-            let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
-            let worker = ShardWorker::new(shard, factory(shard), config.record_ledger);
-            let handle = std::thread::Builder::new()
-                .name(format!("realloc-shard-{shard}"))
-                .spawn(move || worker.run(rx))
-                .expect("spawn shard worker");
-            senders.push(tx);
-            workers.push(handle);
-        }
-        Engine {
-            pending: vec![Vec::with_capacity(config.batch); config.shards],
+        assert_eq!(
+            router.shards(),
+            config.shards,
+            "router and config disagree on the shard count"
+        );
+        let mut engine = Engine {
             config,
-            senders,
-            workers,
+            router,
+            senders: Vec::with_capacity(config.shards),
+            workers: Vec::with_capacity(config.shards),
+            pending: Vec::with_capacity(config.shards),
+            retired: Vec::new(),
+        };
+        for shard in 0..config.shards {
+            engine.spawn_shard(shard, factory(shard));
         }
+        engine
+    }
+
+    fn spawn_shard(&mut self, shard: usize, realloc: BoxedReallocator) {
+        let (tx, rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
+        let worker = ShardWorker::new(shard, realloc, self.config.record_ledger);
+        let handle = std::thread::Builder::new()
+            .name(format!("realloc-shard-{shard}"))
+            .spawn(move || worker.run(rx))
+            .expect("spawn shard worker");
+        self.senders.push(tx);
+        self.workers.push(handle);
+        self.pending.push(Vec::with_capacity(self.config.batch));
     }
 
     /// Number of shards.
@@ -156,15 +252,21 @@ impl Engine {
         self.config.shards
     }
 
-    /// The engine's configuration.
+    /// The engine's configuration (reflects any resize).
     pub fn config(&self) -> EngineConfig {
         self.config
     }
 
-    /// The shard that owns `id` (stable across runs; see
-    /// [`shard_of`](crate::route::shard_of)).
+    /// The routing layer, for inspection (`name`, `assignments`, …).
+    pub fn router(&self) -> &dyn Router {
+        self.router.as_ref()
+    }
+
+    /// The shard that owns `id` right now. Stable between barriers; a
+    /// [`rebalance`](Engine::rebalance) or
+    /// [`resize_shards`](Engine::resize_shards) may re-home the id.
     pub fn shard_of(&self, id: ObjectId) -> usize {
-        shard_of(id, self.config.shards)
+        self.router.route(id)
     }
 
     /// Enqueues `〈INSERTOBJECT, id, size〉` on the owning shard.
@@ -183,7 +285,7 @@ impl Engine {
     }
 
     fn enqueue(&mut self, req: Request) -> Result<(), EngineError> {
-        let shard = self.shard_of(req.id());
+        let shard = self.router.route(req.id());
         self.pending[shard].push(req);
         if self.pending[shard].len() >= self.config.batch {
             let batch = std::mem::replace(
@@ -205,7 +307,7 @@ impl Engine {
     /// by all barriers; only needed directly to cap latency when trickling
     /// requests below the batch size.
     pub fn flush(&mut self) -> Result<(), EngineError> {
-        for shard in 0..self.config.shards {
+        for shard in 0..self.senders.len() {
             if !self.pending[shard].is_empty() {
                 let batch = std::mem::take(&mut self.pending[shard]);
                 self.send(shard, Command::Batch(batch))?;
@@ -220,8 +322,8 @@ impl Engine {
         make: impl Fn(mpsc::Sender<T>) -> Command,
     ) -> Result<Vec<T>, EngineError> {
         self.flush()?;
-        let mut replies = Vec::with_capacity(self.config.shards);
-        for shard in 0..self.config.shards {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for shard in 0..self.senders.len() {
             let (tx, rx) = mpsc::channel();
             self.send(shard, make(tx))?;
             replies.push(rx);
@@ -283,11 +385,11 @@ impl Engine {
     }
 
     /// Replays a whole workload: splits it into per-shard streams with
-    /// [`workload_gen::shard::split_with`] (per-object request order is
-    /// preserved — an object's requests all hash to the same shard, in
-    /// sequence order) and feeds the streams round-robin, one batch per
-    /// shard per round, so every queue stays busy instead of one shard
-    /// draining while the rest idle.
+    /// [`workload_gen::shard::split_with`] under the engine's router
+    /// (per-object request order is preserved — an object's requests all
+    /// route to the same shard, in sequence order) and feeds the streams
+    /// round-robin, one batch per shard per round, so every queue stays
+    /// busy instead of one shard draining while the rest idle.
     ///
     /// Returns when everything is *enqueued*; follow with
     /// [`quiesce`](Engine::quiesce) or [`snapshot`](Engine::snapshot) to
@@ -295,8 +397,9 @@ impl Engine {
     pub fn drive(&mut self, workload: &Workload) -> Result<(), EngineError> {
         // Order wrt. anything already trickled in via insert/delete.
         self.flush()?;
-        let shards = self.config.shards;
-        let parts = workload_gen::shard::split_with(workload, shards, |id| shard_of(id, shards));
+        let shards = self.senders.len();
+        let router = self.router.as_ref();
+        let parts = workload_gen::shard::split_with(workload, shards, |id| router.route(id));
         let batch = self.config.batch;
         let mut cursor = vec![0usize; shards];
         loop {
@@ -316,17 +419,267 @@ impl Engine {
         }
     }
 
+    /// Cross-shard rebalance: quiesces, measures per-shard live volumes,
+    /// plans migrations that equalize them (greedy largest-first from over-
+    /// to under-full shards — see [`crate::rebalance`]), executes them as
+    /// migrate-out/migrate-in barriers, updates the routing table for every
+    /// moved id at the closing barrier, then optionally has each shard run
+    /// the Theorem 2.7 defragmenter over its post-migration layout. The
+    /// defrag pass *plans and prices*: it computes the cost-oblivious
+    /// compaction schedule (the moves a substrate replay would apply),
+    /// records those moves in the shard ledger, and reports the
+    /// `(1+ε)V + ∆` space bound in [`RebalanceReport::defrag`] — the
+    /// serving structure itself stays as Theorem 2.1 maintains it, so
+    /// [`EngineStats::footprint`] does not shrink from the pass.
+    ///
+    /// Requires a router with an assignment table (see
+    /// [`Engine::with_router`]); fails with [`EngineError::FixedRouting`]
+    /// otherwise. Per-object request order is preserved: the engine is
+    /// quiesced throughout, and requests arriving after the rebalance route
+    /// to the object's new owner.
+    ///
+    /// # Panics
+    /// Panics if `opts.defrag_eps` is outside the paper's `0 < ε ≤ 1/2`.
+    pub fn rebalance(&mut self, opts: RebalanceOptions) -> Result<RebalanceReport, EngineError> {
+        if let Some(eps) = opts.defrag_eps {
+            assert!(
+                eps > 0.0 && eps <= 0.5,
+                "the paper requires 0 < ε ≤ 1/2, got {eps}"
+            );
+        }
+        let before = self.quiesce()?;
+        let extents = self.extents()?;
+        let shards: Vec<Vec<(ObjectId, u64)>> = extents
+            .iter()
+            .map(|list| list.iter().map(|&(id, e)| (id, e.len)).collect())
+            .collect();
+        let plan = plan_rebalance(&shards);
+        if !plan.is_empty() && !self.router.supports_assignment() {
+            return Err(EngineError::FixedRouting {
+                router: self.router.name(),
+            });
+        }
+        let outcome = self.migrate(&plan)?;
+        // The routing-table update is atomic with respect to serving: the
+        // engine is quiesced, so no request can observe a half-applied map.
+        // Only completed transfers are pinned, and pinning happens before
+        // any error surfaces, so routing always matches physical ownership
+        // even if a broken reallocator rejects one transfer mid-plan.
+        for &(id, _, to) in &outcome.completed {
+            self.router.assign(id, to);
+        }
+        outcome.surface()?;
+        let (migrated_objects, migrated_volume) = outcome.totals();
+        let defrag = match opts.defrag_eps {
+            Some(eps) => self.barrier(|reply| Command::Defrag { eps, reply })?,
+            None => Vec::new(),
+        };
+        let after = self.quiesce()?;
+        Ok(RebalanceReport {
+            before,
+            after,
+            migrated_objects,
+            migrated_volume,
+            defrag,
+        })
+    }
+
+    /// Resizes the live engine to `shards` shards, reusing the rebalance
+    /// migration machinery: quiesces, spawns workers for any new shards
+    /// (built by `factory`, like at construction), migrates every object
+    /// whose route changes under the new shard count (for a
+    /// [`TableRouter`](realloc_common::TableRouter) the rendezvous fallback
+    /// keeps that near `1/n` of the population on grows), re-targets the
+    /// router, and retires drained workers on shrinks — their stats and
+    /// ledgers are returned by the eventual [`shutdown`](Engine::shutdown).
+    ///
+    /// Works with any router (shrinking a hash-routed engine simply migrates
+    /// more objects). Per-object request order is preserved: everything
+    /// happens inside one quiesce barrier.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn resize_shards<F>(
+        &mut self,
+        shards: usize,
+        mut factory: F,
+    ) -> Result<ResizeReport, EngineError>
+    where
+        F: FnMut(usize) -> BoxedReallocator,
+    {
+        assert!(shards > 0, "engine needs at least one shard");
+        let from = self.config.shards;
+        self.quiesce()?;
+        if shards == from {
+            return Ok(ResizeReport {
+                from,
+                to: shards,
+                migrated_objects: 0,
+                migrated_volume: 0,
+            });
+        }
+        let extents = self.extents()?;
+        let mut plan = Vec::new();
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, e) in list {
+                let to = self.router.route_at(id, shards);
+                debug_assert!(to < shards, "router resize preview out of range");
+                if to != shard {
+                    plan.push(Migration {
+                        id,
+                        size: e.len,
+                        from: shard,
+                        to,
+                    });
+                }
+            }
+        }
+        for shard in from..shards {
+            self.spawn_shard(shard, factory(shard));
+        }
+        let outcome = self.migrate(&plan)?;
+        if outcome.first_error.is_some() {
+            // Partial failure (only possible with a broken reallocator):
+            // routing must be made to match physical ownership before the
+            // error surfaces, and the fleet cannot shrink — a dying shard
+            // may still hold what it refused to release. Adopt the larger
+            // of the two counts so every owner stays routable, then pin
+            // both the transfers that landed (to their targets) and the
+            // objects whose source refused to let go (back to it, since
+            // the re-targeted fallback may now point elsewhere). A router
+            // without an assignment table cannot be reconciled — the
+            // affected ids route wrongly until shutdown; their extents and
+            // ledgers remain readable.
+            let keep = shards.max(from);
+            self.router.set_shards(keep);
+            self.config.shards = keep;
+            if self.router.supports_assignment() {
+                for &(id, _, to) in &outcome.completed {
+                    if self.router.route(id) != to {
+                        self.router.assign(id, to);
+                    }
+                }
+                for &(id, source) in &outcome.stranded {
+                    if self.router.route(id) != source {
+                        self.router.assign(id, source);
+                    }
+                }
+            }
+            outcome.surface()?;
+        }
+        self.router.set_shards(shards);
+        for &(id, _, to) in &outcome.completed {
+            // Pin only where the new fallback disagrees (keeps the table
+            // minimal; a fresh TableRouter stays assignment-free).
+            if self.router.route(id) != to {
+                self.router.assign(id, to);
+            }
+        }
+        let (migrated_objects, migrated_volume) = outcome.totals();
+        // Retire drained workers (highest shard first, so indices stay
+        // aligned with the vectors we pop from).
+        for shard in (shards..from).rev() {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Finish(tx))?;
+            let fin = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
+            debug_assert_eq!(fin.stats.live_count, 0, "retired shard still holds objects");
+            self.retired.push(fin);
+            self.senders.pop();
+            if let Some(worker) = self.workers.pop() {
+                let _ = worker.join();
+            }
+            let leftover = self.pending.pop();
+            debug_assert!(leftover.is_none_or(|p| p.is_empty()));
+        }
+        self.config.shards = shards;
+        Ok(ResizeReport {
+            from,
+            to: shards,
+            migrated_objects,
+            migrated_volume,
+        })
+    }
+
+    /// Executes a migration plan: all migrate-outs first (each source shard
+    /// drains before replying, so no id is ever live on two shards), then
+    /// migrate-ins for exactly the objects their sources released. Both
+    /// halves are barriers with per-object acks, so one broken reallocator
+    /// cannot desync the fleet: unreleased objects stay home (reported as
+    /// `stranded`, so callers that changed the routing basis can re-pin
+    /// them), and everything else completes. The first rejection is
+    /// remembered in the outcome — the caller surfaces it only *after*
+    /// making the routing table match physical ownership.
+    fn migrate(&mut self, plan: &[Migration]) -> Result<MigrationOutcome, EngineError> {
+        let mut outcome = MigrationOutcome::default();
+        if plan.is_empty() {
+            return Ok(outcome);
+        }
+        let n = self.senders.len();
+        let mut outs: Vec<Vec<ObjectId>> = vec![Vec::new(); n];
+        for m in plan {
+            outs[m.from].push(m.id);
+        }
+        let mut waiting = Vec::new();
+        for (shard, ids) in outs.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::MigrateOut { ids, reply: tx })?;
+            waiting.push((shard, rx));
+        }
+        let mut released = HashSet::new();
+        for (shard, rx) in waiting {
+            let (reply, ids) = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
+            outcome.note_error(shard, reply.first_error);
+            released.extend(ids);
+        }
+
+        let mut ins: Vec<Vec<(ObjectId, u64)>> = vec![Vec::new(); n];
+        for m in plan {
+            if released.contains(&m.id) {
+                ins[m.to].push((m.id, m.size));
+            }
+        }
+        let mut waiting = Vec::new();
+        for (shard, objects) in ins.into_iter().enumerate() {
+            if objects.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::MigrateIn { objects, reply: tx })?;
+            waiting.push((shard, rx));
+        }
+        let mut adopted = HashSet::new();
+        for (shard, rx) in waiting {
+            let (reply, ids) = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
+            outcome.note_error(shard, reply.first_error);
+            adopted.extend(ids);
+        }
+
+        for m in plan {
+            if adopted.contains(&m.id) {
+                outcome.completed.push((m.id, m.size, m.to));
+            } else if !released.contains(&m.id) {
+                outcome.stranded.push((m.id, m.from));
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Final barrier: serves everything still queued, stops all workers,
     /// joins their threads, and returns each shard's stats *and full
     /// ledger* — the per-shard move logs that post-hoc cost pricing needs.
-    /// Surfaces the first request-level error instead, if any shard saw
-    /// one.
+    /// Shards retired by a shrinking [`resize_shards`](Engine::resize_shards)
+    /// follow the live shards, so no history is lost. Surfaces the first
+    /// request-level error instead, if any shard saw one.
     pub fn shutdown(mut self) -> Result<Vec<ShardFinal>, EngineError> {
-        let finals = self.barrier(Command::Finish)?;
+        let mut finals = self.barrier(Command::Finish)?;
         self.senders.clear();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        finals.append(&mut self.retired);
         Self::surface_first_error(finals.iter().map(|f| (f.stats.shard, &f.first_error)))?;
         Ok(finals)
     }
@@ -346,7 +699,7 @@ impl Drop for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use realloc_common::Outcome;
+    use realloc_common::{Outcome, Reallocator, TableRouter};
     use std::collections::HashMap;
 
     /// A minimal in-test reallocator: bump allocation, never moves, never
@@ -408,6 +761,14 @@ mod tests {
         Engine::new(EngineConfig::with_shards(shards), |_| {
             Box::new(Bump::default())
         })
+    }
+
+    fn table_engine(shards: usize) -> Engine {
+        Engine::with_router(
+            EngineConfig::with_shards(shards),
+            Box::new(TableRouter::new(shards)),
+            |_| Box::new(Bump::default()),
+        )
     }
 
     #[test]
@@ -553,5 +914,298 @@ mod tests {
             EngineError::ShardDown { shard: 1 }.to_string(),
             "shard 1 worker is gone"
         );
+        assert_eq!(
+            EngineError::FixedRouting { router: "hash" }.to_string(),
+            "router \"hash\" cannot pin ids to shards; rebalancing needs a table router"
+        );
+    }
+
+    /// Loads shard 0 of a table-routed engine far above the others by
+    /// deleting everything routed elsewhere.
+    fn skew_toward_shard_zero(e: &mut Engine, ids: u64) {
+        for i in 0..ids {
+            e.insert(ObjectId(i), 8).unwrap();
+        }
+        let doomed: Vec<ObjectId> = (0..ids)
+            .map(ObjectId)
+            .filter(|&id| e.shard_of(id) != 0)
+            .collect();
+        for id in doomed {
+            e.delete(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn rebalance_equalizes_table_routed_volumes() {
+        let mut e = table_engine(4);
+        skew_toward_shard_zero(&mut e, 400);
+        let before = e.quiesce().unwrap();
+        assert!(
+            before.imbalance_ratio() > 2.0,
+            "skew failed: {}",
+            before.imbalance_ratio()
+        );
+        let live_before = before.live_count();
+
+        let report = e.rebalance(RebalanceOptions::default()).unwrap();
+        assert!(report.migrated_objects > 0);
+        assert!(
+            report.after.imbalance_ratio() < 1.25,
+            "imbalance after rebalance: {}",
+            report.after.imbalance_ratio()
+        );
+        assert_eq!(report.after.live_count(), live_before, "objects conserved");
+        assert_eq!(report.after.live_volume(), before.live_volume());
+        assert_eq!(report.after.migrations(), report.migrated_objects);
+
+        // Routing follows the moved objects: deleting everything must
+        // succeed, which requires every id to route to its current owner.
+        let extents = e.extents().unwrap();
+        for list in &extents {
+            for &(id, _) in list {
+                e.delete(id).unwrap();
+            }
+        }
+        let empty = e.quiesce().unwrap();
+        assert_eq!(empty.live_count(), 0);
+        assert_eq!(empty.errors(), 0, "a migrated id routed to a stale shard");
+    }
+
+    #[test]
+    fn rebalance_on_hash_router_is_rejected() {
+        let mut e = bump_engine(3);
+        skew_toward_shard_zero(&mut e, 300);
+        match e.rebalance(RebalanceOptions::default()) {
+            Err(EngineError::FixedRouting { router: "hash" }) => {}
+            other => panic!("expected FixedRouting, got {other:?}"),
+        }
+        // The engine stays serviceable after the refusal.
+        e.insert(ObjectId(10_000), 4).unwrap();
+        assert_eq!(e.quiesce().unwrap().errors(), 0);
+    }
+
+    #[test]
+    fn balanced_engine_rebalance_is_a_no_op_even_on_hash() {
+        // No migrations planned ⇒ no assignment support needed.
+        let mut e = bump_engine(1);
+        e.insert(ObjectId(1), 8).unwrap();
+        let report = e.rebalance(RebalanceOptions::default()).unwrap();
+        assert_eq!(report.migrated_objects, 0);
+    }
+
+    #[test]
+    fn resize_grow_and_shrink_conserve_objects() {
+        let mut e = table_engine(2);
+        for i in 0..200u64 {
+            e.insert(ObjectId(i), 1 + i % 9).unwrap();
+        }
+        let before = e.quiesce().unwrap();
+
+        let grow = e.resize_shards(5, |_| Box::new(Bump::default())).unwrap();
+        assert_eq!((grow.from, grow.to), (2, 5));
+        assert_eq!(e.shards(), 5);
+        let grown = e.quiesce().unwrap();
+        assert_eq!(grown.shards(), 5);
+        assert_eq!(grown.live_count(), before.live_count());
+        assert_eq!(grown.live_volume(), before.live_volume());
+        // The rendezvous fallback keeps a grow from reshuffling everything.
+        assert!(
+            grow.migrated_objects < 200,
+            "grow re-homed {} of 200",
+            grow.migrated_objects
+        );
+
+        let shrink = e.resize_shards(3, |_| Box::new(Bump::default())).unwrap();
+        assert_eq!((shrink.from, shrink.to), (5, 3));
+        let shrunk = e.quiesce().unwrap();
+        assert_eq!(shrunk.shards(), 3);
+        assert_eq!(shrunk.live_count(), before.live_count());
+        assert_eq!(shrunk.live_volume(), before.live_volume());
+
+        // Every id routes to a live shard that actually owns it.
+        let extents = e.extents().unwrap();
+        let mut seen = 0usize;
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(e.shard_of(id), shard);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, before.live_count());
+
+        // Retired shards' ledgers survive to shutdown.
+        let finals = e.shutdown().unwrap();
+        assert_eq!(finals.len(), 3 + 2, "3 live + 2 retired shards");
+        let requests: u64 = finals.iter().map(|f| f.stats.requests).sum();
+        assert_eq!(requests, 200, "client requests served exactly once");
+    }
+
+    #[test]
+    fn resize_same_count_is_a_no_op() {
+        let mut e = bump_engine(3);
+        e.insert(ObjectId(7), 4).unwrap();
+        let report = e.resize_shards(3, |_| Box::new(Bump::default())).unwrap();
+        assert_eq!(report.migrated_objects, 0);
+        assert_eq!(e.shards(), 3);
+    }
+
+    #[test]
+    fn resize_hash_router_engine_works_by_mass_migration() {
+        let mut e = bump_engine(2);
+        for i in 0..100u64 {
+            e.insert(ObjectId(i), 4).unwrap();
+        }
+        e.resize_shards(4, |_| Box::new(Bump::default())).unwrap();
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.shards(), 4);
+        assert_eq!(stats.live_count(), 100);
+        // Hash routing after the resize is simply shard_of at 4 shards.
+        let extents = e.extents().unwrap();
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(crate::route::shard_of(id, 4), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn migrations_are_ledgered_as_migrations() {
+        use realloc_common::OpKind;
+        let mut e = table_engine(2);
+        skew_toward_shard_zero(&mut e, 60);
+        e.rebalance(RebalanceOptions::default()).unwrap();
+        let finals = e.shutdown().unwrap();
+        let (mut ins, mut outs) = (0u64, 0u64);
+        for f in &finals {
+            for r in f.ledger.records() {
+                match r.kind {
+                    OpKind::MigrateIn => {
+                        ins += 1;
+                        assert_eq!(r.allocated, None, "a transfer is not an allocation");
+                        assert_eq!(r.moved_sizes.first(), Some(&r.request_size));
+                    }
+                    OpKind::MigrateOut => outs += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(f.stats.migrations_in, {
+                f.ledger
+                    .records()
+                    .iter()
+                    .filter(|r| r.kind == OpKind::MigrateIn)
+                    .count() as u64
+            });
+        }
+        assert!(ins > 0, "rebalance must have migrated something");
+        assert_eq!(ins, outs, "every transfer has both halves");
+    }
+
+    #[test]
+    fn partial_migration_failure_keeps_routing_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        /// A Bump whose inserts can be switched off — stands in for a
+        /// broken reallocator rejecting migrate-ins mid-rebalance.
+        struct FlakyBump {
+            inner: Bump,
+            fail_inserts: Arc<AtomicBool>,
+        }
+        impl Reallocator for FlakyBump {
+            fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError> {
+                if self.fail_inserts.load(Ordering::Relaxed) {
+                    return Err(ReallocError::ZeroSize);
+                }
+                self.inner.insert(id, size)
+            }
+            fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
+                self.inner.delete(id)
+            }
+            fn extent_of(&self, id: ObjectId) -> Option<Extent> {
+                self.inner.extent_of(id)
+            }
+            fn live_volume(&self) -> u64 {
+                self.inner.live_volume()
+            }
+            fn structure_size(&self) -> u64 {
+                self.inner.structure_size()
+            }
+            fn footprint(&self) -> u64 {
+                self.inner.footprint()
+            }
+            fn max_object_size(&self) -> u64 {
+                self.inner.max_object_size()
+            }
+            fn name(&self) -> &'static str {
+                "flaky-bump"
+            }
+            fn live_count(&self) -> usize {
+                self.inner.live_count()
+            }
+        }
+
+        let fail = Arc::new(AtomicBool::new(false));
+        let fail_factory = Arc::clone(&fail);
+        let mut e = Engine::with_router(
+            EngineConfig::with_shards(2),
+            Box::new(TableRouter::new(2)),
+            move |shard| {
+                if shard == 1 {
+                    Box::new(FlakyBump {
+                        inner: Bump::default(),
+                        fail_inserts: Arc::clone(&fail_factory),
+                    })
+                } else {
+                    Box::new(Bump::default())
+                }
+            },
+        );
+        // Skew all volume onto shard 0, so the rebalance plan targets the
+        // (soon to be broken) shard 1.
+        skew_toward_shard_zero(&mut e, 60);
+        let before = e.quiesce().unwrap();
+        assert!(before.imbalance_ratio() > 1.5);
+
+        fail.store(true, Ordering::Relaxed);
+        let err = e.rebalance(RebalanceOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Request { shard: 1, .. }),
+            "expected shard 1's rejection, got {err:?}"
+        );
+
+        // The objects shard 1 rejected are lost (their sources released
+        // them), but nothing is desynced: every surviving object routes to
+        // the shard that actually owns it, and no id is on two shards.
+        let extents = e.extents().unwrap();
+        let mut survivors = 0;
+        let mut seen = std::collections::HashSet::new();
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(e.shard_of(id), shard, "{id} routed to a stale shard");
+                assert!(seen.insert(id), "{id} live on two shards");
+                survivors += 1;
+            }
+        }
+        assert!(survivors < before.live_count(), "rejections lose objects");
+        assert!(survivors > 0, "unaffected objects survive");
+        // The sticky shard error keeps surfacing at barriers, as for any
+        // rejected request.
+        assert!(matches!(
+            e.quiesce().unwrap_err(),
+            EngineError::Request { shard: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rebalance_defrag_pass_reports_space_bounds() {
+        let mut e = table_engine(2);
+        skew_toward_shard_zero(&mut e, 80);
+        let report = e.rebalance(RebalanceOptions::with_defrag(0.5)).unwrap();
+        assert_eq!(report.defrag.len(), 2);
+        for d in &report.defrag {
+            assert!(d.error.is_none(), "shard {}: {:?}", d.shard, d.error);
+            assert!(d.within_budget, "shard {} blew (1+ε)V + ∆", d.shard);
+        }
+        assert!(report.after.defrag_moves() > 0);
     }
 }

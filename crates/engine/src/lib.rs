@@ -3,12 +3,33 @@
 //!
 //! The algorithm crates serve one request at a time on the caller's thread.
 //! This crate turns any of them into a *service*: an [`Engine`] routes
-//! requests by [`ObjectId`](realloc_common::ObjectId) hash across `N`
-//! *shards*, each a dedicated worker thread owning one boxed
+//! requests through a pluggable [`Router`] across `N` *shards*, each a
+//! dedicated worker thread owning one boxed
 //! [`Reallocator`](realloc_common::Reallocator) and its own
 //! [`Ledger`](realloc_common::Ledger), fed through a bounded channel in
 //! *batches* (amortizing channel overhead the way buffer flushes amortize
 //! moves).
+//!
+//! ## The routing layer
+//!
+//! Routing is a first-class layer, not a hard-wired hash:
+//!
+//! * [`HashRouter`] (default, [`Engine::new`]) — the stateless SplitMix64
+//!   hash [`shard_of`]. Byte-identical behavior to the pre-router engine.
+//! * [`TableRouter`] ([`Engine::with_router`]) — an explicit id → shard
+//!   assignment table over a rendezvous-hash fallback. This is what makes
+//!   objects *re-homeable*: [`Engine::rebalance`] migrates objects between
+//!   shards (delete-on-source / insert-on-target at a quiesce barrier,
+//!   routing table updated atomically once all transfers land) to equalize
+//!   per-shard volumes `V_i`, optionally followed by the per-shard
+//!   Theorem 2.7 defrag pass; [`Engine::resize_shards`] reuses the same
+//!   migration machinery to split or merge live shards (the rendezvous
+//!   fallback keeps a grow from re-homing more than `~1/n` of the ids).
+//!
+//! Watch the [`EngineStats::imbalance_ratio`] observable
+//! (`max V_i / mean V_i`) to decide when to rebalance; migrations are
+//! ledgered as first-class ops (`MigrateIn` / `MigrateOut`) and priced as
+//! reallocations, so rebalancing is as cost-accountable as serving.
 //!
 //! ## Why sharding preserves the paper's guarantees
 //!
@@ -67,11 +88,14 @@
 //! error and keep serving.
 
 pub mod engine;
+pub mod rebalance;
 pub mod route;
 pub mod shard;
 pub mod stats;
 
 pub use engine::{Engine, EngineConfig, EngineError};
+pub use realloc_common::router::{self, HashRouter, Router, TableRouter};
+pub use rebalance::{DefragSummary, RebalanceOptions, RebalanceReport, ResizeReport};
 pub use route::shard_of;
 pub use shard::ShardFinal;
 pub use stats::{EngineStats, ShardStats};

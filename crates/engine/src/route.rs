@@ -1,37 +1,17 @@
-//! Deterministic object-id → shard routing.
+//! Deterministic object-id → shard routing (re-exported).
+//!
+//! The hash itself moved to [`realloc_common::router`] when routing became
+//! a pluggable layer — the workload splitter and the router implementations
+//! both need it without depending on this crate. This module remains so
+//! `realloc_engine::route::shard_of` (and the crate-root re-export) keep
+//! working; see [`crate::router`] for the full routing layer.
 
-use realloc_common::ObjectId;
-
-/// The shard in `0..shards` that owns `id`.
-///
-/// A SplitMix64 finalizer over the raw id, reduced by Lemire's multiply-shift
-/// trick. Two properties matter to callers:
-///
-/// * **Stability** — the map is a pure function of `(id, shards)`, fixed for
-///   all time (no per-process seed, unlike `DefaultHasher`), so replaying a
-///   workload yields byte-identical per-shard streams across runs and
-///   builds. The determinism tests rely on this.
-/// * **Diffusion** — sequential ids (the common case: [`workload_gen`]
-///   generators hand them out in order) spread uniformly, so shard volumes
-///   stay balanced and the aggregate `(1+ε)Σ V_i` bound is tight in
-///   practice, not just in the worst case.
-///
-/// # Panics
-/// Panics if `shards` is zero.
-#[inline]
-pub fn shard_of(id: ObjectId, shards: usize) -> usize {
-    assert!(shards > 0, "shard count must be positive");
-    let mut z = id.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    // Multiply-shift maps the hash to [0, shards) without modulo bias.
-    (((z as u128) * (shards as u128)) >> 64) as usize
-}
+pub use realloc_common::router::shard_of;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use realloc_common::ObjectId;
 
     #[test]
     fn routes_are_stable_across_calls() {
@@ -75,5 +55,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_shards_rejected() {
         shard_of(ObjectId(1), 0);
+    }
+
+    /// The exact mapping is frozen: changing the hash silently re-homes
+    /// every stored object of every deployed engine, so lock a few values.
+    #[test]
+    fn mapping_is_frozen() {
+        assert_eq!(shard_of(ObjectId(0), 4), shard_of(ObjectId(0), 4));
+        let snapshot: Vec<usize> = (0..16).map(|raw| shard_of(ObjectId(raw), 4)).collect();
+        assert_eq!(
+            snapshot,
+            vec![3, 2, 2, 0, 1, 1, 2, 1, 2, 2, 0, 1, 2, 3, 1, 2]
+        );
     }
 }

@@ -8,19 +8,31 @@
 //! insert/delete is counted, remembered (first occurrence), and serving
 //! continues, mirroring how a real service would 400 one request without
 //! tearing down the shard.
+//!
+//! The migration commands ([`Command::MigrateOut`] / [`Command::MigrateIn`])
+//! are the shard half of the engine's cross-shard rebalance protocol: both
+//! only ever arrive at a quiesce barrier, and a migrate-out drains the
+//! reallocator before replying so the object is fully gone from this shard
+//! before the engine re-inserts it elsewhere (no instant at which one id is
+//! live on two shards).
 
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
 
-use realloc_common::{Extent, Ledger, ObjectId, OpKind, Outcome, ReallocError, Reallocator};
+use realloc_common::{
+    Extent, Ledger, ObjectId, OpKind, OpRecord, Outcome, ReallocError, Reallocator,
+};
 use workload_gen::Request;
 
+use crate::rebalance::DefragSummary;
 use crate::stats::ShardStats;
 
 /// The first request a shard's reallocator rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardError {
-    /// Index of the request in the shard's own stream (0-based).
+    /// Index of the request in the shard's own stream (0-based). Migration
+    /// failures (which are not client requests) reuse the index of the next
+    /// client request.
     pub index: u64,
     /// The rejection.
     pub error: ReallocError,
@@ -57,6 +69,35 @@ pub(crate) enum Command {
     Snapshot(Sender<ShardReply>),
     /// Reply with the placements of all live objects, sorted by id.
     Extents(Sender<Vec<(ObjectId, Extent)>>),
+    /// Rebalance protocol, outbound half: delete `ids` (they are being
+    /// re-homed, not destroyed — ledgered as `MigrateOut`), drain deferred
+    /// work so they are fully gone, then reply with the ids actually
+    /// released (per-object acks let the engine skip the inbound half for
+    /// anything a broken reallocator refused to give up).
+    MigrateOut {
+        /// Objects leaving this shard.
+        ids: Vec<ObjectId>,
+        /// Barrier reply: shard state plus the released ids.
+        reply: Sender<(ShardReply, Vec<ObjectId>)>,
+    },
+    /// Rebalance protocol, inbound half: insert `objects` (ledgered as
+    /// `MigrateIn`; the transfer itself is priced as a reallocation), then
+    /// reply with the ids actually adopted.
+    MigrateIn {
+        /// `(id, size)` of each arriving object.
+        objects: Vec<(ObjectId, u64)>,
+        /// Barrier reply: shard state plus the adopted ids.
+        reply: Sender<(ShardReply, Vec<ObjectId>)>,
+    },
+    /// Compute the Theorem 2.7 defrag schedule over this shard's live
+    /// objects (sorted by id) at slack `eps`, ledger its moves, reply with
+    /// the space/movement summary.
+    Defrag {
+        /// Footprint slack `ε` for the defragmenter (`0 < ε ≤ 1/2`).
+        eps: f64,
+        /// Summary reply.
+        reply: Sender<DefragSummary>,
+    },
     /// Final barrier: reply with stats + ledger and exit the thread.
     Finish(Sender<ShardFinal>),
 }
@@ -77,6 +118,12 @@ pub(crate) struct ShardWorker {
     first_error: Option<ShardError>,
     moves: u64,
     moved_volume: u64,
+    migrations_in: u64,
+    migrations_out: u64,
+    migrated_volume_in: u64,
+    migrated_volume_out: u64,
+    defrag_runs: u64,
+    defrag_moves: u64,
     /// Max over requests of `structure_after / volume_after`, maintained
     /// incrementally so it survives running ledgerless.
     max_settled_ratio: f64,
@@ -100,6 +147,12 @@ impl ShardWorker {
             first_error: None,
             moves: 0,
             moved_volume: 0,
+            migrations_in: 0,
+            migrations_out: 0,
+            migrated_volume_in: 0,
+            migrated_volume_out: 0,
+            defrag_runs: 0,
+            defrag_moves: 0,
             max_settled_ratio: 0.0,
         }
     }
@@ -124,13 +177,33 @@ impl ShardWorker {
                     let _ = reply.send(self.reply());
                 }
                 Command::Extents(reply) => {
-                    let mut extents: Vec<(ObjectId, Extent)> = self
-                        .live
-                        .iter()
-                        .filter_map(|&id| self.realloc.extent_of(id).map(|e| (id, e)))
-                        .collect();
-                    extents.sort_by_key(|&(id, _)| id);
-                    let _ = reply.send(extents);
+                    let _ = reply.send(self.live_extents());
+                }
+                Command::MigrateOut { ids, reply } => {
+                    let mut released = Vec::with_capacity(ids.len());
+                    for id in ids {
+                        if self.migrate_out(id) {
+                            released.push(id);
+                        }
+                    }
+                    // Drain deferred deletes (the deamortized structure logs
+                    // them) so the objects are fully gone before the engine
+                    // re-inserts them on their target shards.
+                    let outcome = self.realloc.quiesce();
+                    self.note_moves(&outcome);
+                    let _ = reply.send((self.reply(), released));
+                }
+                Command::MigrateIn { objects, reply } => {
+                    let mut adopted = Vec::with_capacity(objects.len());
+                    for (id, size) in objects {
+                        if self.migrate_in(id, size) {
+                            adopted.push(id);
+                        }
+                    }
+                    let _ = reply.send((self.reply(), adopted));
+                }
+                Command::Defrag { eps, reply } => {
+                    let _ = reply.send(self.defrag(eps));
                 }
                 Command::Finish(reply) => {
                     let _ = reply.send(ShardFinal {
@@ -142,6 +215,16 @@ impl ShardWorker {
                 }
             }
         }
+    }
+
+    fn live_extents(&self) -> Vec<(ObjectId, Extent)> {
+        let mut extents: Vec<(ObjectId, Extent)> = self
+            .live
+            .iter()
+            .filter_map(|&id| self.realloc.extent_of(id).map(|e| (id, e)))
+            .collect();
+        extents.sort_by_key(|&(id, _)| id);
+        extents
     }
 
     /// Serves one request, mirroring the single-threaded harness's ledger
@@ -179,12 +262,7 @@ impl ShardWorker {
                     }
                 }
                 self.note_moves(&outcome);
-                let structure = self.realloc.structure_size();
-                let volume = self.realloc.live_volume();
-                if volume > 0 {
-                    self.max_settled_ratio =
-                        self.max_settled_ratio.max(structure as f64 / volume as f64);
-                }
+                let structure = self.observe_space();
                 if self.record_ledger {
                     self.ledger.record(
                         kind,
@@ -192,7 +270,7 @@ impl ShardWorker {
                         allocated,
                         &outcome,
                         structure,
-                        volume,
+                        self.realloc.live_volume(),
                         self.realloc.max_object_size(),
                     );
                 }
@@ -204,9 +282,155 @@ impl ShardWorker {
         }
     }
 
+    /// The outbound half of one cross-shard transfer: a delete that is
+    /// ledgered as `MigrateOut` (the object lives on elsewhere) and counted
+    /// in the migration telemetry, not in `requests`. Returns whether the
+    /// reallocator released the object.
+    fn migrate_out(&mut self, id: ObjectId) -> bool {
+        let size = self.realloc.extent_of(id).map_or(0, |e| e.len);
+        match self.realloc.delete(id) {
+            Ok(outcome) => {
+                self.live.remove(&id);
+                self.note_moves(&outcome);
+                self.migrations_out += 1;
+                self.migrated_volume_out += size;
+                let structure = self.observe_space();
+                if self.record_ledger {
+                    self.ledger.push(OpRecord {
+                        kind: OpKind::MigrateOut,
+                        request_size: size,
+                        allocated: None,
+                        moved_sizes: outcome.moved_sizes().collect(),
+                        checkpoints: outcome.checkpoints,
+                        structure_after: structure,
+                        peak_during: outcome.peak_structure_size.max(structure),
+                        volume_after: self.realloc.live_volume(),
+                        delta_after: self.realloc.max_object_size(),
+                    });
+                }
+                true
+            }
+            Err(error) => {
+                self.note_migration_error(error);
+                false
+            }
+        }
+    }
+
+    /// The inbound half: an insert ledgered as `MigrateIn`. The transfer
+    /// itself is a *reallocation* of the object (it was allocated once, on
+    /// its original shard), so its size joins `moved_sizes` and the shard's
+    /// move telemetry — cost functions price it like any other move.
+    /// Returns whether the reallocator adopted the object.
+    fn migrate_in(&mut self, id: ObjectId, size: u64) -> bool {
+        match self.realloc.insert(id, size) {
+            Ok(outcome) => {
+                self.live.insert(id);
+                self.note_moves(&outcome);
+                self.moves += 1;
+                self.moved_volume += size;
+                self.migrations_in += 1;
+                self.migrated_volume_in += size;
+                let structure = self.observe_space();
+                if self.record_ledger {
+                    let mut moved_sizes = vec![size];
+                    moved_sizes.extend(outcome.moved_sizes());
+                    self.ledger.push(OpRecord {
+                        kind: OpKind::MigrateIn,
+                        request_size: size,
+                        allocated: None,
+                        moved_sizes,
+                        checkpoints: outcome.checkpoints,
+                        structure_after: structure,
+                        peak_during: outcome.peak_structure_size.max(structure),
+                        volume_after: self.realloc.live_volume(),
+                        delta_after: self.realloc.max_object_size(),
+                    });
+                }
+                true
+            }
+            Err(error) => {
+                self.note_migration_error(error);
+                false
+            }
+        }
+    }
+
+    /// Computes (and ledgers) the Theorem 2.7 compaction schedule over this
+    /// shard's live objects, sorted by id.
+    fn defrag(&mut self, eps: f64) -> DefragSummary {
+        let extents = self.live_extents();
+        let delta = self.realloc.max_object_size();
+        match realloc_core::defragment(&extents, eps, |a, b| a.cmp(&b)) {
+            Ok(report) => {
+                self.defrag_runs += 1;
+                self.defrag_moves += report.total_moves as u64;
+                let structure = self.realloc.structure_size();
+                if self.record_ledger {
+                    self.ledger.push(OpRecord {
+                        kind: OpKind::Defrag,
+                        request_size: 0,
+                        allocated: None,
+                        moved_sizes: report
+                            .ops
+                            .iter()
+                            .filter_map(|op| match op {
+                                realloc_common::StorageOp::Move { to, .. } => Some(to.len),
+                                _ => None,
+                            })
+                            .collect(),
+                        checkpoints: 0,
+                        structure_after: structure,
+                        peak_during: report.peak_space.max(structure),
+                        volume_after: self.realloc.live_volume(),
+                        delta_after: delta,
+                    });
+                }
+                DefragSummary {
+                    shard: self.shard,
+                    objects: extents.len(),
+                    total_moves: report.total_moves as u64,
+                    peak_space: report.peak_space,
+                    budget: report.budget,
+                    within_budget: report.peak_space <= report.budget + delta
+                        && !report.prefix_suffix_collision,
+                    error: None,
+                }
+            }
+            Err(e) => DefragSummary {
+                shard: self.shard,
+                objects: extents.len(),
+                total_moves: 0,
+                peak_space: 0,
+                budget: 0,
+                within_budget: false,
+                error: Some(e.to_string()),
+            },
+        }
+    }
+
+    fn note_migration_error(&mut self, error: ReallocError) {
+        self.errors += 1;
+        self.first_error.get_or_insert(ShardError {
+            index: self.requests,
+            error,
+        });
+    }
+
     fn note_moves(&mut self, outcome: &Outcome) {
         self.moves += outcome.move_count() as u64;
         self.moved_volume += outcome.moved_volume();
+    }
+
+    /// Folds the current space telemetry into `max_settled_ratio` and
+    /// returns the structure size.
+    fn observe_space(&mut self) -> u64 {
+        let structure = self.realloc.structure_size();
+        let volume = self.realloc.live_volume();
+        if volume > 0 {
+            self.max_settled_ratio = self.max_settled_ratio.max(structure as f64 / volume as f64);
+        }
+        structure
     }
 
     fn snapshot(&self) -> ShardStats {
@@ -223,6 +447,12 @@ impl ShardWorker {
             max_object_size: self.realloc.max_object_size(),
             total_moves: self.moves,
             total_moved_volume: self.moved_volume,
+            migrations_in: self.migrations_in,
+            migrations_out: self.migrations_out,
+            migrated_volume_in: self.migrated_volume_in,
+            migrated_volume_out: self.migrated_volume_out,
+            defrag_runs: self.defrag_runs,
+            defrag_moves: self.defrag_moves,
             max_settled_ratio: self.max_settled_ratio,
         }
     }

@@ -31,10 +31,24 @@ pub struct ShardStats {
     pub structure_size: u64,
     /// `∆_i`: largest object this shard has seen.
     pub max_object_size: u64,
-    /// Reallocations performed (including quiesce-time drains).
+    /// Reallocations performed (including quiesce-time drains and the
+    /// cross-shard transfers this shard received — a migration *is* a
+    /// reallocation of the object).
     pub total_moves: u64,
     /// Volume moved by those reallocations, in cells.
     pub total_moved_volume: u64,
+    /// Objects this shard received from rebalance/resize migrations.
+    pub migrations_in: u64,
+    /// Objects this shard handed off to rebalance/resize migrations.
+    pub migrations_out: u64,
+    /// Volume received via migrations, in cells.
+    pub migrated_volume_in: u64,
+    /// Volume handed off via migrations, in cells.
+    pub migrated_volume_out: u64,
+    /// Theorem 2.7 defrag passes run on this shard.
+    pub defrag_runs: u64,
+    /// Moves across those defrag schedules.
+    pub defrag_moves: u64,
     /// Max over requests of `structure_after / volume_after` (the ledger's
     /// settled-space competitive ratio for this shard).
     pub max_settled_ratio: f64,
@@ -114,6 +128,56 @@ impl EngineStats {
         self.per_shard.iter().map(|s| s.total_moved_volume).sum()
     }
 
+    /// Largest per-shard live volume `max_i V_i` — the quantity a skewed
+    /// delete pattern inflates and a rebalance pushes back toward the mean.
+    pub fn max_shard_volume(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.live_volume)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean per-shard live volume `Σ V_i / N` (0.0 with no shards).
+    pub fn mean_shard_volume(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            0.0
+        } else {
+            self.live_volume() as f64 / self.per_shard.len() as f64
+        }
+    }
+
+    /// The volume imbalance ratio `max_i V_i / mean V_i` — 1.0 is perfectly
+    /// balanced; `N` means one shard holds everything. Defined as 1.0 for
+    /// an empty engine (no volume is vacuously balanced). This is the
+    /// observable [`Engine::rebalance`](crate::Engine::rebalance) drives
+    /// down.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let mean = self.mean_shard_volume();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_shard_volume() as f64 / mean
+        }
+    }
+
+    /// Total objects received via cross-shard migrations. (Every migration
+    /// is counted once, on the receiving side; `migrations_out` sums to the
+    /// same total across a rebalance.)
+    pub fn migrations(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.migrations_in).sum()
+    }
+
+    /// Total volume received via cross-shard migrations, in cells.
+    pub fn migrated_volume(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.migrated_volume_in).sum()
+    }
+
+    /// Total moves across all shards' Theorem 2.7 defrag schedules.
+    pub fn defrag_moves(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.defrag_moves).sum()
+    }
+
     /// The worst per-shard settled-space ratio — the aggregate's effective
     /// footprint competitive ratio, since `Σ structure_i ≤ (max_i a_i)·Σ V_i`.
     pub fn worst_settled_ratio(&self) -> f64 {
@@ -153,6 +217,12 @@ mod tests {
             max_object_size: delta,
             total_moves: 5,
             total_moved_volume: 50,
+            migrations_in: 0,
+            migrations_out: 0,
+            migrated_volume_in: 0,
+            migrated_volume_out: 0,
+            defrag_runs: 0,
+            defrag_moves: 0,
             max_settled_ratio: structure as f64 / volume as f64,
         }
     }
@@ -181,5 +251,48 @@ mod tests {
         assert_eq!(stats.max_object_size(), 0);
         assert_eq!(stats.settled_ratio(), 1.0);
         assert_eq!(stats.worst_settled_ratio(), 0.0);
+        assert_eq!(stats.imbalance_ratio(), 1.0);
+        assert_eq!(stats.max_shard_volume(), 0);
+        assert_eq!(stats.migrations(), 0);
+    }
+
+    #[test]
+    fn imbalance_is_max_over_mean() {
+        let stats = EngineStats {
+            per_shard: vec![
+                shard(0, 300, 310, 8),
+                shard(1, 50, 60, 8),
+                shard(2, 50, 60, 8),
+            ],
+        };
+        // mean = 400/3, max = 300 → ratio = 2.25.
+        assert_eq!(stats.max_shard_volume(), 300);
+        assert!((stats.mean_shard_volume() - 400.0 / 3.0).abs() < 1e-12);
+        assert!((stats.imbalance_ratio() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_volume_engine_counts_as_balanced() {
+        let stats = EngineStats {
+            per_shard: vec![shard(0, 0, 1, 0), shard(1, 0, 1, 0)],
+        };
+        assert_eq!(stats.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn migration_counters_aggregate() {
+        let mut a = shard(0, 100, 140, 32);
+        a.migrations_in = 3;
+        a.migrated_volume_in = 30;
+        a.defrag_moves = 7;
+        let mut b = shard(1, 50, 60, 64);
+        b.migrations_out = 3;
+        b.migrated_volume_out = 30;
+        let stats = EngineStats {
+            per_shard: vec![a, b],
+        };
+        assert_eq!(stats.migrations(), 3);
+        assert_eq!(stats.migrated_volume(), 30);
+        assert_eq!(stats.defrag_moves(), 7);
     }
 }

@@ -25,42 +25,99 @@ pub struct ChurnConfig {
 /// then issues `churn_ops` requests that insert when below target and
 /// delete a uniformly random live object when at/above it.
 pub fn churn(config: &ChurnConfig) -> Workload {
+    // `keep` nothing: the uniform delete draw is untouched (the predicate
+    // check spends no RNG), so this is byte-identical to the historical
+    // generator, seed for seed.
+    generate(config, |_| false, "churn")
+}
+
+/// Churn whose deletes *spare* the objects matched by `keep`: inserts are
+/// drawn like [`churn`]'s, but a delete always removes a random live object
+/// with `keep(id) == false` (falling back to any object only when none
+/// remain). Route-aware `keep` predicates turn this into the shard-skew
+/// adversary: with `keep = |id| route(id) == hot`, every churn cycle drains
+/// volume from the other shards while the hot shard only ever grows —
+/// exactly the pattern a stateless hash router cannot repair and a
+/// cross-shard rebalancer exists for.
+pub fn skewed_churn(config: &ChurnConfig, keep: impl FnMut(ObjectId) -> bool) -> Workload {
+    generate(config, keep, "skewed-churn")
+}
+
+/// The shared churn loop behind [`churn`] and [`skewed_churn`]. The live
+/// population is partitioned into deletable/kept pools *at insert time*
+/// (`keep` is evaluated once per id), so a delete is one uniform draw from
+/// the deletable pool — O(1) amortized, instead of rescanning the live set
+/// whenever kept objects dominate. With an empty predicate the deletable
+/// pool *is* the live set in the same order, so [`churn`]'s request
+/// streams are unchanged, seed for seed.
+fn generate(
+    config: &ChurnConfig,
+    mut keep: impl FnMut(ObjectId) -> bool,
+    family: &str,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut ids = IdSource::new();
     let mut requests = Vec::new();
-    let mut live: Vec<(ObjectId, u64)> = Vec::new();
+    let mut deletable: Vec<(ObjectId, u64)> = Vec::new();
+    let mut kept: Vec<(ObjectId, u64)> = Vec::new();
     let mut volume = 0u64;
 
-    let insert = |rng: &mut StdRng,
-                  requests: &mut Vec<Request>,
-                  live: &mut Vec<(ObjectId, u64)>,
-                  volume: &mut u64,
-                  ids: &mut IdSource| {
+    let mut insert = |rng: &mut StdRng,
+                      requests: &mut Vec<Request>,
+                      deletable: &mut Vec<(ObjectId, u64)>,
+                      kept: &mut Vec<(ObjectId, u64)>,
+                      volume: &mut u64,
+                      ids: &mut IdSource| {
         let size = config.dist.sample(rng);
         let id = ids.fresh();
         requests.push(Request::Insert { id, size });
-        live.push((id, size));
+        if keep(id) {
+            kept.push((id, size));
+        } else {
+            deletable.push((id, size));
+        }
         *volume += size;
     };
 
     while volume < config.target_volume {
-        insert(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+        insert(
+            &mut rng,
+            &mut requests,
+            &mut deletable,
+            &mut kept,
+            &mut volume,
+            &mut ids,
+        );
     }
 
     for _ in 0..config.churn_ops {
-        if volume >= config.target_volume && !live.is_empty() {
-            let idx = rng.random_range(0..live.len());
-            let (id, size) = live.swap_remove(idx);
+        let any_live = !deletable.is_empty() || !kept.is_empty();
+        if volume >= config.target_volume && any_live {
+            // Deletes spare the kept pool while anything else remains.
+            let pool = if deletable.is_empty() {
+                &mut kept
+            } else {
+                &mut deletable
+            };
+            let idx = rng.random_range(0..pool.len());
+            let (id, size) = pool.swap_remove(idx);
             requests.push(Request::Delete { id });
             volume -= size;
         } else {
-            insert(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+            insert(
+                &mut rng,
+                &mut requests,
+                &mut deletable,
+                &mut kept,
+                &mut volume,
+                &mut ids,
+            );
         }
     }
 
     Workload::new(
         format!(
-            "churn({}, V≈{}, {} ops, seed {})",
+            "{family}({}, V≈{}, {} ops, seed {})",
             config.dist.label(),
             config.target_volume,
             config.churn_ops,
@@ -118,6 +175,74 @@ mod tests {
         // and deletes pull it back under; the peak stays close to target.
         assert!(stats.peak_volume < 4_200, "peak {}", stats.peak_volume);
         assert!(stats.final_volume > 3_000);
+    }
+
+    #[test]
+    fn skewed_churn_spares_kept_objects() {
+        use realloc_common::shard_of;
+        // Short enough that the non-kept pool never drains (a longer run
+        // eventually holds only kept volume and falls back to deleting it).
+        let config = ChurnConfig {
+            churn_ops: 600,
+            ..cfg(5)
+        };
+        let w = skewed_churn(&config, |id| shard_of(id, 4) == 0);
+        assert!(w.validate().is_ok());
+        for req in &w.requests {
+            if let Request::Delete { id } = *req {
+                assert_ne!(shard_of(id, 4), 0, "deleted a kept object");
+            }
+        }
+        // The kept shard's share of the final volume dominates: imbalance.
+        let mut per_shard = [0u64; 4];
+        let mut sizes = std::collections::HashMap::new();
+        for req in &w.requests {
+            match *req {
+                Request::Insert { id, size } => {
+                    sizes.insert(id, size);
+                }
+                Request::Delete { id } => {
+                    sizes.remove(&id);
+                }
+            }
+        }
+        for (&id, &size) in &sizes {
+            per_shard[shard_of(id, 4)] += size;
+        }
+        let total: u64 = per_shard.iter().sum();
+        let mean = total as f64 / 4.0;
+        assert!(
+            per_shard[0] as f64 / mean > 1.5,
+            "skew too weak: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn churn_is_skewed_churn_with_nothing_kept() {
+        // The two generators share one loop; with an empty predicate the
+        // RNG sequences (and so the requests) must coincide exactly.
+        assert_eq!(
+            churn(&cfg(4)).requests,
+            skewed_churn(&cfg(4), |_| false).requests
+        );
+    }
+
+    #[test]
+    fn skewed_churn_is_deterministic_per_seed() {
+        let keep = |id: ObjectId| id.0.is_multiple_of(3);
+        assert_eq!(
+            skewed_churn(&cfg(9), keep).requests,
+            skewed_churn(&cfg(9), keep).requests
+        );
+    }
+
+    #[test]
+    fn skewed_churn_with_everything_kept_still_churns() {
+        // Degenerate predicate: the fallback deletes kept objects rather
+        // than stalling, so the workload stays well-formed and target-sized.
+        let w = skewed_churn(&cfg(2), |_| true);
+        assert!(w.validate().is_ok());
+        assert!(w.stats().deletes > 0);
     }
 
     #[test]

@@ -9,9 +9,20 @@
 //! observation is what makes sharded and standalone runs comparable
 //! shard-for-shard (the engine's equivalence tests are built on it).
 
-use realloc_common::ObjectId;
+use realloc_common::{ObjectId, Router};
 
 use crate::{Request, Workload};
+
+/// Splits `workload` into per-shard sub-workloads under `router` — the
+/// routing-layer form of [`split_with`]. The router must be quiescent for
+/// the duration (its map queried here must match the map the serving layer
+/// will route with, or the split is meaningless).
+///
+/// # Panics
+/// Panics if the router targets zero shards or routes out of range.
+pub fn split(workload: &Workload, router: &dyn Router) -> Vec<Workload> {
+    split_with(workload, router.shards(), |id| router.route(id))
+}
 
 /// Splits `workload` into `shards` sub-workloads, sending each request to
 /// `route(id)`. Relative order *within* each sub-workload matches the
@@ -94,6 +105,32 @@ mod tests {
                 .filter(|r| mod_route(r.id(), shards) == s)
                 .collect();
             assert_eq!(part.requests, filtered, "shard {s} stream diverges");
+        }
+    }
+
+    #[test]
+    fn split_follows_the_router() {
+        use realloc_common::{HashRouter, TableRouter};
+        let w = sample();
+        // A hash router reproduces split_with over the same hash...
+        let router = HashRouter::new(3);
+        let by_router = split(&w, &router);
+        let by_hash = split_with(&w, 3, |id| realloc_common::shard_of(id, 3));
+        for (a, b) in by_router.iter().zip(&by_hash) {
+            assert_eq!(a.requests, b.requests);
+        }
+        // ...and a table router's assignments redirect whole objects.
+        let mut table = TableRouter::new(3);
+        let victim = w.requests[0].id();
+        let target = (table.route(victim) + 1) % 3;
+        table.assign(victim, target);
+        let parts = split(&w, &table);
+        assert!(parts[target].requests.iter().any(|r| r.id() == victim));
+        for (s, part) in parts.iter().enumerate() {
+            if s != target {
+                assert!(part.requests.iter().all(|r| r.id() != victim));
+            }
+            part.validate().expect("router split stays well-formed");
         }
     }
 

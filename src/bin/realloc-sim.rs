@@ -28,6 +28,11 @@
 //!   --variant <alg>      any algorithm name above (default cost-oblivious)
 //!   --shards <n>         shard count (default 4)
 //!   --batch <n>          requests per channel batch (default 256)
+//!   --router <kind>      hash (default) or table (id → shard map with a
+//!                        rendezvous fallback; enables rebalancing)
+//!   --rebalance-every <n>  rebalance after every n requests (table router)
+//!   --resize <n>         resize to n shards at the workload's midpoint
+//!   --defrag             run the per-shard Thm 2.7 defrag with each rebalance
 //!   --eps / --trace / --churn / --seed   as above
 //! ```
 
@@ -62,6 +67,10 @@ struct Args {
     variant: String,
     shards: usize,
     batch: usize,
+    router: String,
+    rebalance_every: Option<usize>,
+    resize: Option<usize>,
+    defrag: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +86,10 @@ fn parse_args() -> Result<Args, String> {
         variant: "cost-oblivious".into(),
         shards: 4,
         batch: 256,
+        router: "hash".into(),
+        rebalance_every: None,
+        resize: None,
+        defrag: false,
     };
     let engine_mode = args.algorithm == "engine";
     let mut crash = false;
@@ -122,6 +135,31 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--batch must be positive".into());
                 }
             }
+            "--router" if engine_mode => {
+                args.router = next("hash or table")?;
+                if args.router != "hash" && args.router != "table" {
+                    return Err(format!("--router: unknown kind {:?}", args.router));
+                }
+            }
+            "--rebalance-every" if engine_mode => {
+                let n: usize = next("a request count")?
+                    .parse()
+                    .map_err(|e| format!("--rebalance-every: {e}"))?;
+                if n == 0 {
+                    return Err("--rebalance-every must be positive".into());
+                }
+                args.rebalance_every = Some(n);
+            }
+            "--resize" if engine_mode => {
+                let n: usize = next("a shard count")?
+                    .parse()
+                    .map_err(|e| format!("--resize: {e}"))?;
+                if n == 0 {
+                    return Err("--resize must be positive".into());
+                }
+                args.resize = Some(n);
+            }
+            "--defrag" if engine_mode => args.defrag = true,
             other => {
                 return Err(format!(
                     "unknown option {other} (or not valid {} engine mode)",
@@ -136,12 +174,19 @@ fn parse_args() -> Result<Args, String> {
         }
         args.config.crash_check = true;
     }
+    if args.rebalance_every.is_some() && args.router != "table" {
+        return Err("--rebalance-every needs --router table (the hash map is frozen)".into());
+    }
+    if args.defrag && args.rebalance_every.is_none() {
+        return Err("--defrag needs --rebalance-every".into());
+    }
     Ok(args)
 }
 
-/// `realloc-sim engine`: serve the workload through the sharded engine and
-/// print the per-shard stats table, the aggregate row, and cost ratios
-/// priced over the union of the shard ledgers.
+/// `realloc-sim engine`: serve the workload through the sharded engine
+/// (optionally rebalancing and/or resizing along the way) and print the
+/// per-shard stats table, the aggregate row, and cost ratios priced over
+/// the union of the shard ledgers.
 fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     if make_algorithm(&args.variant, args.eps).is_none() {
         eprintln!("error: unknown engine variant {:?}", args.variant);
@@ -153,31 +198,96 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         batch: args.batch,
         ..Default::default()
     };
-    let mut engine = Engine::new(config, |_| {
-        make_algorithm(&args.variant, args.eps).expect("variant validated above")
-    });
+    let factory =
+        |_shard: usize| make_algorithm(&args.variant, args.eps).expect("variant validated above");
+    let mut engine = match args.router.as_str() {
+        "table" => Engine::with_router(config, Box::new(TableRouter::new(args.shards)), factory),
+        _ => Engine::new(config, factory),
+    };
     println!("workload:  {} ({} requests)", workload.name, workload.len());
     println!(
-        "engine:    {} × {} shards (ε = {}, batch = {})",
-        args.variant, args.shards, args.eps, args.batch
+        "engine:    {} × {} shards (ε = {}, batch = {}, router = {})",
+        args.variant,
+        args.shards,
+        args.eps,
+        args.batch,
+        engine.router().name()
     );
 
+    let rebalance_opts = if args.defrag {
+        RebalanceOptions::with_defrag(args.eps)
+    } else {
+        RebalanceOptions::default()
+    };
+    // A resize fires at the midpoint, so without --rebalance-every the
+    // workload still needs to arrive in (at least) two chunks.
+    let midpoint = workload.len() / 2;
+    let chunk_size = args.rebalance_every.unwrap_or(if args.resize.is_some() {
+        midpoint.max(1)
+    } else {
+        workload.len().max(1)
+    });
+
     let start = std::time::Instant::now();
-    let finals = engine
-        .drive(workload)
-        .and_then(|()| engine.quiesce().map(|_| ()))
-        .and_then(|()| engine.shutdown());
-    let elapsed = start.elapsed();
-    let finals = match finals {
+    let run = (|| -> Result<(), EngineError> {
+        let mut served = 0usize;
+        let mut resized = args.resize.is_none();
+        for chunk in workload.requests.chunks(chunk_size.max(1)) {
+            engine.drive(&Workload::new("chunk", chunk.to_vec()))?;
+            served += chunk.len();
+            if args.rebalance_every.is_some() {
+                let report = engine.rebalance(rebalance_opts)?;
+                println!(
+                    "rebalance @{served:>8}: imbalance {:.2} -> {:.2}, {} objects / {} cells migrated{}",
+                    report.before.imbalance_ratio(),
+                    report.after.imbalance_ratio(),
+                    report.migrated_objects,
+                    report.migrated_volume,
+                    if report.defrag.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            ", defrag {} moves",
+                            report.defrag.iter().map(|d| d.total_moves).sum::<u64>()
+                        )
+                    }
+                );
+            }
+            if !resized && served >= midpoint {
+                resized = true;
+                let to = args.resize.expect("checked");
+                let report = engine.resize_shards(to, factory)?;
+                println!(
+                    "resize    @{served:>8}: {} -> {} shards, {} objects / {} cells migrated",
+                    report.from, report.to, report.migrated_objects, report.migrated_volume
+                );
+            }
+        }
+        engine.quiesce().map(|_| ())
+    })();
+    if let Err(e) = run {
+        eprintln!("engine run failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let live_shards = engine.shards();
+    let finals = match engine.shutdown() {
         Ok(f) => f,
         Err(e) => {
             eprintln!("engine run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let elapsed = start.elapsed();
 
+    // Live shards lead the finals; shards retired by a shrink follow (their
+    // rows print for the record, but volume aggregates would be skewed by
+    // their empty structures, so the aggregate row uses live shards only).
     let stats = EngineStats {
-        per_shard: finals.iter().map(|f| f.stats.clone()).collect(),
+        per_shard: finals
+            .iter()
+            .take(live_shards)
+            .map(|f| f.stats.clone())
+            .collect(),
     };
     let mut table = Table::new(
         format!("per-shard stats ({})", args.variant),
@@ -192,6 +302,8 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             "delta",
             "moves",
             "moved vol",
+            "migr in",
+            "migr out",
             "ratio",
         ],
     );
@@ -207,11 +319,17 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             fmt_u64(s.max_object_size),
             fmt_u64(s.total_moves),
             fmt_u64(s.total_moved_volume),
+            fmt_u64(s.migrations_in),
+            fmt_u64(s.migrations_out),
             fmt2(s.max_settled_ratio),
         ]
     };
     for s in &stats.per_shard {
         table.row(row(s.shard.to_string(), s));
+    }
+    // Shards retired by a shrinking resize: history rows, not live state.
+    for f in finals.iter().skip(live_shards) {
+        table.row(row(format!("{}†", f.stats.shard), &f.stats));
     }
     table.row(vec![
         "Σ".into(),
@@ -224,10 +342,18 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         fmt_u64(stats.max_object_size()),
         fmt_u64(stats.total_moves()),
         fmt_u64(stats.total_moved_volume()),
+        fmt_u64(stats.per_shard.iter().map(|s| s.migrations_in).sum()),
+        fmt_u64(stats.per_shard.iter().map(|s| s.migrations_out).sum()),
         fmt2(stats.worst_settled_ratio()),
     ]);
     table.print();
     println!("(aggregate ratio column is the worst shard's settled ratio)");
+    println!(
+        "imbalance: max V_i / mean V_i = {:.3} (max {}, mean {:.0})",
+        stats.imbalance_ratio(),
+        stats.max_shard_volume(),
+        stats.mean_shard_volume()
+    );
 
     println!(
         "\nthroughput: {:.0} requests/sec ({} requests in {:.3}s, wall clock)",
@@ -260,7 +386,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: {e}\n\n\
                  usage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]\n\
-                 \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--eps f] [--trace file | --churn vol ops] [--seed n]"
+                 \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
+                 \x20                         [--rebalance-every n] [--resize n] [--defrag]\n\
+                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]"
             );
             return ExitCode::FAILURE;
         }

@@ -54,13 +54,17 @@ pub mod prelude {
         BuddyAllocator, FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator,
     };
     pub use crate::common::{
-        BoxedReallocator, Extent, Ledger, ObjectId, Outcome, ReallocError, Reallocator, StorageOp,
+        BoxedReallocator, Extent, HashRouter, Ledger, ObjectId, Outcome, ReallocError, Reallocator,
+        Router, StorageOp, TableRouter,
     };
     pub use crate::core::{
         defragment, CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator,
     };
     pub use crate::cost::{standard_suite, CostFn};
-    pub use crate::engine::{Engine, EngineConfig, EngineError, EngineStats, ShardStats};
+    pub use crate::engine::{
+        DefragSummary, Engine, EngineConfig, EngineError, EngineStats, RebalanceOptions,
+        RebalanceReport, ResizeReport, ShardStats,
+    };
     pub use crate::harness::{run_workload, RunConfig, RunResult};
     pub use crate::sim::{Mode, SimStore};
     pub use crate::workloads::{Request, Workload};

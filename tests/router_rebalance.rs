@@ -1,0 +1,286 @@
+//! The routing layer's contract under rebalancing and resizing.
+//!
+//! Two levels of assurance:
+//!
+//! * A property test: a `TableRouter` engine with *interleaved*
+//!   `rebalance()` / `resize_shards()` calls between workload segments is
+//!   observationally equivalent to an unsharded standalone replay — no
+//!   object lost or duplicated, every live id routed to the shard that
+//!   actually owns it, identical final object set (ids and sizes), and the
+//!   aggregate footprint still within `(1+ε)·Σ V_i + N·∆` — for all three
+//!   paper variants.
+//! * The acceptance scenario: a skewed-delete workload drives hash-routed
+//!   shard imbalance above 2×; the same pattern on a `TableRouter` engine
+//!   is repaired by one `rebalance()` to below 1.25×.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use storage_realloc::engine::shard_of;
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::churn::{skewed_churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+
+const VARIANTS: [&str; 3] = ["cost-oblivious", "checkpointed", "deamortized"];
+
+fn build(variant: &str, eps: f64) -> Box<dyn Reallocator + Send> {
+    match variant {
+        "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
+        "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
+        "deamortized" => Box::new(DeamortizedReallocator::new(eps)),
+        other => panic!("unknown variant {other}"),
+    }
+}
+
+/// Compact request-sequence encoding shared with the other proptest suites:
+/// positive numbers insert an object of that size, zero deletes the oldest
+/// live object.
+fn op_sequence() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => 1u64..=600,
+            1 => Just(0u64),
+        ],
+        1..200,
+    )
+}
+
+fn materialize(ops: &[u64]) -> Workload {
+    let mut requests = Vec::new();
+    let mut live = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for &op in ops {
+        if op == 0 {
+            if let Some(id) = live.pop_front() {
+                requests.push(Request::Delete { id });
+            }
+        } else {
+            let id = ObjectId(next);
+            next += 1;
+            live.push_back(id);
+            requests.push(Request::Insert { id, size: op });
+        }
+    }
+    Workload::new("prop sequence", requests)
+}
+
+/// The unsharded truth: the final live object set of a request sequence.
+fn reference_set(workload: &Workload) -> BTreeMap<ObjectId, u64> {
+    let mut reference = BTreeMap::new();
+    for req in &workload.requests {
+        match *req {
+            Request::Insert { id, size } => {
+                reference.insert(id, size);
+            }
+            Request::Delete { id } => {
+                reference.remove(&id);
+            }
+        }
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Interleaving rebalances and resizes with serving must not change
+    /// what the engine *is*: the same object set as an unsharded replay,
+    /// correctly routed, within the aggregate footprint bound.
+    #[test]
+    fn interleaved_rebalance_resize_is_observationally_equivalent(
+        ops in op_sequence(),
+        eps in 0.1f64..=0.5,
+        shards in 1usize..=3,
+        actions in prop::collection::vec(0u8..4u8, 1..4),
+    ) {
+        let workload = materialize(&ops);
+        let reference = reference_set(&workload);
+
+        for variant in VARIANTS {
+            let mut engine = Engine::with_router(
+                EngineConfig { batch: 16, queue_depth: 2, ..EngineConfig::with_shards(shards) },
+                Box::new(TableRouter::new(shards)),
+                |_| build(variant, eps),
+            );
+
+            // Serve in segments with a rebalance or resize between each.
+            let segments = actions.len() + 1;
+            let chunk = workload.len().div_ceil(segments).max(1);
+            let mut chunks = workload.requests.chunks(chunk);
+            if let Some(first) = chunks.next() {
+                engine.drive(&Workload::new("seg", first.to_vec())).expect("drive");
+            }
+            for (&action, seg) in actions.iter().zip(&mut chunks) {
+                match action {
+                    0 => {
+                        engine.rebalance(RebalanceOptions::default()).expect("rebalance");
+                    }
+                    1 => {
+                        engine.rebalance(RebalanceOptions::with_defrag(eps)).expect("rebalance+defrag");
+                    }
+                    2 => {
+                        let to = engine.shards() + 1;
+                        engine.resize_shards(to, |_| build(variant, eps)).expect("grow");
+                    }
+                    _ => {
+                        let to = engine.shards().saturating_sub(1).max(1);
+                        engine.resize_shards(to, |_| build(variant, eps)).expect("shrink");
+                    }
+                }
+                engine.drive(&Workload::new("seg", seg.to_vec())).expect("drive");
+            }
+            // Any chunks left (when a drained iterator had fewer segments).
+            for seg in chunks {
+                engine.drive(&Workload::new("seg", seg.to_vec())).expect("drive");
+            }
+
+            let stats = engine.quiesce().expect("quiesce");
+            let extents = engine.extents().expect("extents");
+
+            // Same final object set as the unsharded replay: every id on
+            // exactly one shard, with its original size, nothing extra.
+            let mut seen = BTreeMap::new();
+            for (shard, list) in extents.iter().enumerate() {
+                for &(id, extent) in list {
+                    prop_assert!(
+                        seen.insert(id, extent.len).is_none(),
+                        "{variant}: {id} lives on two shards"
+                    );
+                    prop_assert_eq!(
+                        engine.shard_of(id), shard,
+                        "{}: {} owned by shard {} but routed elsewhere", variant, id, shard
+                    );
+                }
+            }
+            prop_assert_eq!(&seen, &reference, "{}: object set diverged", variant);
+            prop_assert_eq!(stats.live_count(), reference.len(), "{}", variant);
+            prop_assert_eq!(
+                stats.live_volume(),
+                reference.values().sum::<u64>(),
+                "{}", variant
+            );
+
+            // The aggregate footprint bound survives migration traffic.
+            let n = stats.shards() as u64;
+            let bound = (1.0 + eps) * stats.live_volume() as f64
+                + (n * stats.max_object_size()) as f64;
+            prop_assert!(
+                stats.footprint() as f64 <= bound + 1e-9,
+                "{}: footprint {} > (1+ε)·ΣV + N·∆ = {}", variant, stats.footprint(), bound
+            );
+        }
+    }
+}
+
+/// The acceptance scenario from the issue: skewed deletes push hash-routed
+/// imbalance past 2×; one table-routed rebalance pulls it under 1.25.
+#[test]
+fn skewed_deletes_hash_imbalance_repaired_by_table_rebalance() {
+    const SHARDS: usize = 4;
+    const EPS: f64 = 0.25;
+    let config = ChurnConfig {
+        dist: SizeDist::Uniform { lo: 1, hi: 64 },
+        target_volume: 6_000,
+        churn_ops: 3_000,
+        seed: 20_140_623,
+    };
+
+    for variant in VARIANTS {
+        // Hash routing: the skew lands and nothing can fix it.
+        let hash_workload = skewed_churn(&config, |id| shard_of(id, SHARDS) == 0);
+        let mut hash_engine =
+            Engine::new(EngineConfig::with_shards(SHARDS), |_| build(variant, EPS));
+        hash_engine.drive(&hash_workload).expect("drive");
+        let hash_stats = hash_engine.quiesce().expect("quiesce");
+        assert!(
+            hash_stats.imbalance_ratio() > 2.0,
+            "{variant}: hash-routed skew too weak ({})",
+            hash_stats.imbalance_ratio()
+        );
+        assert!(matches!(
+            hash_engine.rebalance(RebalanceOptions::default()),
+            Err(EngineError::FixedRouting { .. })
+        ));
+
+        // Table routing: same skew (keyed to the table router's own
+        // fallback), then one rebalance.
+        let probe = TableRouter::new(SHARDS);
+        let table_workload = skewed_churn(&config, |id| probe.route(id) == 0);
+        let mut engine = Engine::with_router(
+            EngineConfig::with_shards(SHARDS),
+            Box::new(TableRouter::new(SHARDS)),
+            |_| build(variant, EPS),
+        );
+        engine.drive(&table_workload).expect("drive");
+        let before = engine.quiesce().expect("quiesce");
+        assert!(
+            before.imbalance_ratio() > 2.0,
+            "{variant}: table-routed skew too weak ({})",
+            before.imbalance_ratio()
+        );
+
+        let report = engine
+            .rebalance(RebalanceOptions::default())
+            .expect("rebalance");
+        assert!(
+            report.after.imbalance_ratio() < 1.25,
+            "{variant}: imbalance {} after rebalance",
+            report.after.imbalance_ratio()
+        );
+        assert!(report.migrated_objects > 0);
+        assert_eq!(
+            report.after.live_volume(),
+            before.live_volume(),
+            "{variant}: rebalance changed the live volume"
+        );
+        assert_eq!(report.after.live_count(), before.live_count());
+
+        // The re-homed population is still fully servable: delete it all.
+        let extents = engine.extents().expect("extents");
+        for list in &extents {
+            for &(id, _) in list {
+                engine.delete(id).expect("delete");
+            }
+        }
+        let empty = engine.quiesce().expect("final quiesce");
+        assert_eq!(
+            empty.errors(),
+            0,
+            "{variant}: stale routing after rebalance"
+        );
+        assert_eq!(empty.live_count(), 0);
+    }
+}
+
+/// Resizing reuses the migration machinery without the assignment table:
+/// a hash-routed engine can grow and shrink too.
+#[test]
+fn hash_routed_engine_resizes_by_mass_migration() {
+    let workload = realloc_bench::standard_churn(8_000, 2_000, 3);
+    let reference = reference_set(&workload);
+    let mut engine = Engine::new(EngineConfig::with_shards(2), |_| {
+        build("cost-oblivious", 0.25)
+    });
+    engine.drive(&workload).expect("drive");
+    engine
+        .resize_shards(5, |_| build("cost-oblivious", 0.25))
+        .expect("grow");
+    engine
+        .resize_shards(3, |_| build("cost-oblivious", 0.25))
+        .expect("shrink");
+    let stats = engine.quiesce().expect("quiesce");
+    assert_eq!(stats.shards(), 3);
+    assert_eq!(stats.live_count(), reference.len());
+    let extents = engine.extents().expect("extents");
+    for (shard, list) in extents.iter().enumerate() {
+        for &(id, extent) in list {
+            assert_eq!(shard_of(id, 3), shard, "{id} not on its hash shard");
+            assert_eq!(reference.get(&id), Some(&extent.len));
+        }
+    }
+    // Retired shards' request history survives to shutdown.
+    let finals = engine.shutdown().expect("shutdown");
+    assert_eq!(finals.len(), 3 + 2);
+    let served: u64 = finals.iter().map(|f| f.stats.requests).sum();
+    assert_eq!(served as usize, workload.len());
+}
