@@ -128,6 +128,14 @@ impl Ledger {
         self.records.is_empty()
     }
 
+    /// Number of records of `kind` — e.g. how many cross-shard transfers
+    /// this instance received (`OpKind::MigrateIn`) or handed off
+    /// (`OpKind::MigrateOut`); a fleet is consistent when the two totals
+    /// agree across its union of ledgers.
+    pub fn count_kind(&self, kind: OpKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
     /// `Σ f(w)` over every inserted object — the paper's lower bound on any
     /// algorithm's cost and the denominator of its competitive cost ratio.
     pub fn total_alloc_cost(&self, f: &dyn Fn(u64) -> f64) -> f64 {
@@ -363,6 +371,9 @@ mod tests {
         assert_eq!(ledger.total_realloc_cost(&linear), 18.0);
         assert_eq!(ledger.total_moved_volume(), 18);
         assert_eq!(ledger.len(), 4);
+        assert_eq!(ledger.count_kind(OpKind::MigrateIn), 1);
+        assert_eq!(ledger.count_kind(OpKind::MigrateOut), 0);
+        assert_eq!(ledger.count_kind(OpKind::Insert), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The engine front-end: routing, batching, barriers, aggregation,
 //! cross-shard rebalancing, and live shard-count resizing.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{self, SyncSender};
 use std::thread::JoinHandle;
 
@@ -9,7 +9,8 @@ use realloc_common::{BoxedReallocator, Extent, HashRouter, ObjectId, ReallocErro
 use workload_gen::{Request, Workload};
 
 use crate::rebalance::{
-    plan_rebalance, Migration, RebalanceOptions, RebalanceReport, ResizeReport,
+    plan_rebalance, Migration, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy,
+    RebalanceReport, ResizeReport,
 };
 use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
 use crate::stats::EngineStats;
@@ -95,6 +96,10 @@ pub enum EngineError {
         /// `Router::name()` of the router that cannot pin ids.
         router: &'static str,
     },
+    /// [`Engine::rebalance_online`] was called while a previous online
+    /// session is still draining. Step the active session to completion
+    /// (serving traffic does so automatically) before planning a new one.
+    RebalanceInProgress,
 }
 
 impl std::fmt::Display for EngineError {
@@ -114,6 +119,9 @@ impl std::fmt::Display for EngineError {
                     "router {router:?} cannot pin ids to shards; rebalancing needs a table router"
                 )
             }
+            EngineError::RebalanceInProgress => {
+                write!(f, "an online rebalance session is already in progress")
+            }
         }
     }
 }
@@ -124,7 +132,9 @@ impl std::error::Error for EngineError {}
 #[derive(Default)]
 struct MigrationOutcome {
     /// `(id, size, target)` of every transfer whose outbound *and* inbound
-    /// halves completed.
+    /// halves completed. `size` is the size the source *acked*, which in
+    /// online mode may differ from the planner's snapshot (the object can
+    /// be deleted and re-inserted at a new size while the session drains).
     completed: Vec<(ObjectId, u64, usize)>,
     /// `(id, source)` of every transfer whose source refused to release the
     /// object — it still physically lives there, and callers that changed
@@ -163,6 +173,23 @@ impl MigrationOutcome {
     }
 }
 
+/// State of one in-progress online rebalance (see
+/// [`Engine::rebalance_online`]): the remaining migration plan plus the
+/// telemetry the completion report needs.
+struct OnlineSession {
+    /// Migrations not yet executed, in plan order.
+    plan: VecDeque<Migration>,
+    /// Most objects one step migrates.
+    batch_objects: usize,
+    /// Defrag slack to apply at completion (`RebalanceOptions::defrag_eps`).
+    defrag_eps: Option<f64>,
+    /// Aggregate stats at planning time.
+    before: EngineStats,
+    batches: u64,
+    migrated_objects: u64,
+    migrated_volume: u64,
+}
+
 /// A sharded, multi-threaded reallocation service.
 ///
 /// See the [crate docs](crate) for the architecture. Construct with
@@ -171,10 +198,51 @@ impl MigrationOutcome {
 /// [`delete`](Engine::delete) (or [`drive`](Engine::drive) for a whole
 /// workload), observe with [`snapshot`](Engine::snapshot) /
 /// [`quiesce`](Engine::quiesce), re-home volume with
-/// [`rebalance`](Engine::rebalance) / [`resize_shards`](Engine::resize_shards),
-/// and finish with [`shutdown`](Engine::shutdown) to collect per-shard
-/// ledgers. Dropping an engine without `shutdown` joins its workers and
-/// discards results.
+/// [`rebalance`](Engine::rebalance) /
+/// [`rebalance_online`](Engine::rebalance_online) /
+/// [`resize_shards`](Engine::resize_shards) (or let a
+/// [`RebalancePolicy`] trigger that automatically — see
+/// [`set_auto_rebalance`](Engine::set_auto_rebalance)), and finish with
+/// [`shutdown`](Engine::shutdown) to collect per-shard ledgers. Dropping an
+/// engine without `shutdown` joins its workers and discards results.
+///
+/// # Quickstart
+///
+/// Build a table-routed fleet, drive a workload, rebalance it online while
+/// serving, and shut down:
+///
+/// ```
+/// use alloc_baselines::{FitStrategy, FreeListAllocator};
+/// use realloc_common::{ObjectId, TableRouter};
+/// use realloc_engine::{Engine, EngineConfig, RebalanceOptions};
+/// use workload_gen::{Request, Workload};
+///
+/// // Build: four first-fit shards behind a table router (re-homeable ids).
+/// let mut engine = Engine::with_router(
+///     EngineConfig::with_shards(4),
+///     Box::new(TableRouter::new(4)),
+///     |_shard| Box::new(FreeListAllocator::new(FitStrategy::FirstFit)),
+/// );
+///
+/// // Drive: replay a workload (or trickle insert/delete directly).
+/// let requests = (0..256)
+///     .map(|i| Request::Insert { id: ObjectId(i), size: 1 + i % 16 })
+///     .collect();
+/// engine.drive(&Workload::new("quickstart", requests)).unwrap();
+///
+/// // Rebalance online: plan once, then migrate in bounded batches — serving
+/// // continues between steps (here we just step the session dry).
+/// let plan = engine.rebalance_online(RebalanceOptions::default()).unwrap();
+/// while engine.rebalance_step().unwrap() {}
+/// let report = engine.take_rebalance_report().unwrap();
+/// assert_eq!(report.migrated_objects, plan.objects);
+/// assert!(report.after.imbalance_ratio() <= report.before.imbalance_ratio());
+///
+/// // Shutdown: collect per-shard stats and ledgers.
+/// let finals = engine.shutdown().unwrap();
+/// assert_eq!(finals.len(), 4);
+/// assert_eq!(finals.iter().map(|f| f.stats.live_count).sum::<usize>(), 256);
+/// ```
 pub struct Engine {
     config: EngineConfig,
     router: Box<dyn Router>,
@@ -185,6 +253,13 @@ pub struct Engine {
     /// Finals of shards retired by a shrinking resize, so their ledgers and
     /// stats survive until [`shutdown`](Engine::shutdown).
     retired: Vec<ShardFinal>,
+    /// The in-progress online rebalance, if any.
+    session: Option<OnlineSession>,
+    /// Report of the most recently *completed* online session, until
+    /// claimed by [`take_rebalance_report`](Engine::take_rebalance_report).
+    finished: Option<RebalanceReport>,
+    /// The auto-rebalance policy and the options its triggers use.
+    auto: Option<(RebalancePolicy, RebalanceOptions)>,
 }
 
 impl Engine {
@@ -228,6 +303,9 @@ impl Engine {
             workers: Vec::with_capacity(config.shards),
             pending: Vec::with_capacity(config.shards),
             retired: Vec::new(),
+            session: None,
+            finished: None,
+            auto: None,
         };
         for shard in 0..config.shards {
             engine.spawn_shard(shard, factory(shard));
@@ -293,6 +371,13 @@ impl Engine {
                 Vec::with_capacity(self.config.batch),
             );
             self.send(shard, Command::Batch(batch))?;
+            // Online rebalancing rides the serving cadence: one bounded
+            // migration batch per dispatched serving batch, so per-call
+            // latency stays bounded and migration bandwidth scales with
+            // traffic instead of stalling it.
+            if self.session.is_some() {
+                self.step_session()?;
+            }
         }
         Ok(())
     }
@@ -308,10 +393,16 @@ impl Engine {
     /// requests below the batch size.
     pub fn flush(&mut self) -> Result<(), EngineError> {
         for shard in 0..self.senders.len() {
-            if !self.pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.pending[shard]);
-                self.send(shard, Command::Batch(batch))?;
-            }
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes one shard's partially filled batch, if any.
+    fn flush_shard(&mut self, shard: usize) -> Result<(), EngineError> {
+        if !self.pending[shard].is_empty() {
+            let batch = std::mem::take(&mut self.pending[shard]);
+            self.send(shard, Command::Batch(batch))?;
         }
         Ok(())
     }
@@ -363,16 +454,36 @@ impl Engine {
     /// work is complete (each shard runs `Reallocator::quiesce`, draining
     /// e.g. the deamortized structure's in-progress flush), then returns
     /// the aggregated stats. Surfaces the first request-level error, if
-    /// any shard saw one.
+    /// any shard saw one. An [auto-rebalance
+    /// policy](Engine::set_auto_rebalance) observes the stats produced
+    /// here and may start an online session before this returns.
     pub fn quiesce(&mut self) -> Result<EngineStats, EngineError> {
+        let stats = self.quiesce_inner()?;
+        self.policy_observe(&stats)?;
+        Ok(stats)
+    }
+
+    /// [`quiesce`](Engine::quiesce) without the policy hook — what internal
+    /// machinery (and the policy trigger itself) uses, so an observation
+    /// can never recursively trigger another observation.
+    fn quiesce_inner(&mut self) -> Result<EngineStats, EngineError> {
         let replies = self.barrier(Command::Quiesce)?;
         Self::aggregate(replies)
     }
 
     /// Waits until every enqueued request has been served and returns the
     /// aggregated stats, without forcing deferred work. Surfaces the first
-    /// request-level error, if any shard saw one.
+    /// request-level error, if any shard saw one. Like
+    /// [`quiesce`](Engine::quiesce), feeds the [auto-rebalance
+    /// policy](Engine::set_auto_rebalance), if one is set.
     pub fn snapshot(&mut self) -> Result<EngineStats, EngineError> {
+        let stats = self.snapshot_inner()?;
+        self.policy_observe(&stats)?;
+        Ok(stats)
+    }
+
+    /// [`snapshot`](Engine::snapshot) without the policy hook.
+    fn snapshot_inner(&mut self) -> Result<EngineStats, EngineError> {
         let replies = self.barrier(Command::Snapshot)?;
         Self::aggregate(replies)
     }
@@ -394,7 +505,19 @@ impl Engine {
     /// Returns when everything is *enqueued*; follow with
     /// [`quiesce`](Engine::quiesce) or [`snapshot`](Engine::snapshot) to
     /// wait for completion and check for request errors.
+    ///
+    /// While an [online rebalance](Engine::rebalance_online) is active the
+    /// pre-split fast path is unsound (a migration step may re-home an id
+    /// after its stream was split), so requests are routed one at a time at
+    /// enqueue — which also paces the session: one bounded migration batch
+    /// per dispatched serving batch.
     pub fn drive(&mut self, workload: &Workload) -> Result<(), EngineError> {
+        if self.session.is_some() {
+            for &req in &workload.requests {
+                self.enqueue(req)?;
+            }
+            return Ok(());
+        }
         // Order wrt. anything already trickled in via insert/delete.
         self.flush()?;
         let shards = self.senders.len();
@@ -438,27 +561,17 @@ impl Engine {
     /// quiesced throughout, and requests arriving after the rebalance route
     /// to the object's new owner.
     ///
+    /// An active [online session](Engine::rebalance_online) is stepped to
+    /// completion first (its report stays claimable via
+    /// [`take_rebalance_report`](Engine::take_rebalance_report)), so the
+    /// barrier plan never fights a half-executed online plan.
+    ///
     /// # Panics
     /// Panics if `opts.defrag_eps` is outside the paper's `0 < ε ≤ 1/2`.
     pub fn rebalance(&mut self, opts: RebalanceOptions) -> Result<RebalanceReport, EngineError> {
-        if let Some(eps) = opts.defrag_eps {
-            assert!(
-                eps > 0.0 && eps <= 0.5,
-                "the paper requires 0 < ε ≤ 1/2, got {eps}"
-            );
-        }
-        let before = self.quiesce()?;
-        let extents = self.extents()?;
-        let shards: Vec<Vec<(ObjectId, u64)>> = extents
-            .iter()
-            .map(|list| list.iter().map(|&(id, e)| (id, e.len)).collect())
-            .collect();
-        let plan = plan_rebalance(&shards);
-        if !plan.is_empty() && !self.router.supports_assignment() {
-            return Err(EngineError::FixedRouting {
-                router: self.router.name(),
-            });
-        }
+        Self::validate_defrag_eps(&opts);
+        while self.step_session()? {}
+        let (before, plan) = self.plan_migrations(true)?;
         let outcome = self.migrate(&plan)?;
         // The routing-table update is atomic with respect to serving: the
         // engine is quiesced, so no request can observe a half-applied map.
@@ -474,14 +587,256 @@ impl Engine {
             Some(eps) => self.barrier(|reply| Command::Defrag { eps, reply })?,
             None => Vec::new(),
         };
-        let after = self.quiesce()?;
+        let after = self.quiesce_inner()?;
         Ok(RebalanceReport {
             before,
             after,
             migrated_objects,
             migrated_volume,
             defrag,
+            mode: RebalanceMode::Barrier,
+            batches: 1,
         })
+    }
+
+    fn validate_defrag_eps(opts: &RebalanceOptions) {
+        if let Some(eps) = opts.defrag_eps {
+            assert!(
+                eps > 0.0 && eps <= 0.5,
+                "the paper requires 0 < ε ≤ 1/2, got {eps}"
+            );
+        }
+    }
+
+    /// The shared front half of both rebalance modes: barrier (quiesce or
+    /// snapshot) for the opening stats, scan extents, plan the greedy
+    /// largest-first migration set, and refuse a non-empty plan through a
+    /// router that cannot pin ids.
+    fn plan_migrations(
+        &mut self,
+        quiesce: bool,
+    ) -> Result<(EngineStats, Vec<Migration>), EngineError> {
+        let before = if quiesce {
+            self.quiesce_inner()?
+        } else {
+            self.snapshot_inner()?
+        };
+        let extents = self.extents()?;
+        let shards: Vec<Vec<(ObjectId, u64)>> = extents
+            .iter()
+            .map(|list| list.iter().map(|&(id, e)| (id, e.len)).collect())
+            .collect();
+        let plan = plan_rebalance(&shards);
+        if !plan.is_empty() && !self.router.supports_assignment() {
+            return Err(EngineError::FixedRouting {
+                router: self.router.name(),
+            });
+        }
+        Ok((before, plan))
+    }
+
+    /// Online (incremental) rebalance: plans the same greedy largest-first
+    /// migration set as [`rebalance`](Engine::rebalance), but executes it
+    /// in bounded batches (at most `opts.batch_objects` objects each)
+    /// *interleaved with serving* instead of inside one fleet-wide quiesce.
+    /// Each object follows a two-phase protocol:
+    ///
+    /// 1. **freeze** — a `MigrateOut` joins the source shard's FIFO command
+    ///    stream (pending batches are flushed first), so every request
+    ///    enqueued before it is served before the object leaves;
+    /// 2. **copy** — the source acks the released `(id, size)`, the target
+    ///    adopts it via `MigrateIn`;
+    /// 3. **flip** — the [`TableRouter`](realloc_common::TableRouter)
+    ///    assignment is updated, only for acked transfers;
+    /// 4. **resume** — subsequent requests route to the new owner and
+    ///    queue behind the `MigrateIn`.
+    ///
+    /// No id is ever live on two shards, and a mid-session failure leaves
+    /// routing consistent with physical ownership (exactly as in barrier
+    /// mode: completed transfers are pinned before any error surfaces;
+    /// everything else stays home).
+    ///
+    /// This call only *plans* (two barriers: a stats snapshot and an
+    /// extents scan) and returns the [`OnlinePlan`]. The session then
+    /// drains as a side effect of serving — every dispatched serving batch
+    /// (and every [`drive`](Engine::drive) round) migrates one bounded
+    /// batch — or explicitly via [`rebalance_step`](Engine::rebalance_step).
+    /// When the last batch lands (plus the optional defrag pass), the
+    /// completion [`RebalanceReport`] becomes claimable via
+    /// [`take_rebalance_report`](Engine::take_rebalance_report).
+    ///
+    /// Fails with [`EngineError::RebalanceInProgress`] if a session is
+    /// already active, and [`EngineError::FixedRouting`] if the plan is
+    /// non-empty but the router cannot pin ids.
+    ///
+    /// # Panics
+    /// Panics if `opts.defrag_eps` is outside the paper's `0 < ε ≤ 1/2`.
+    pub fn rebalance_online(&mut self, opts: RebalanceOptions) -> Result<OnlinePlan, EngineError> {
+        Self::validate_defrag_eps(&opts);
+        if self.session.is_some() {
+            return Err(EngineError::RebalanceInProgress);
+        }
+        let (before, plan) = self.plan_migrations(false)?;
+        let batch_objects = opts.batch_objects.max(1);
+        let summary = OnlinePlan {
+            objects: plan.len() as u64,
+            volume: plan.iter().map(|m| m.size).sum(),
+            batches: (plan.len() as u64).div_ceil(batch_objects as u64),
+        };
+        self.session = Some(OnlineSession {
+            plan: plan.into(),
+            batch_objects,
+            defrag_eps: opts.defrag_eps,
+            before,
+            batches: 0,
+            migrated_objects: 0,
+            migrated_volume: 0,
+        });
+        Ok(summary)
+    }
+
+    /// Whether an [online rebalance](Engine::rebalance_online) session is
+    /// currently draining.
+    pub fn rebalance_active(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Advances the active online session by one bounded migration batch.
+    /// Returns whether a session is still active afterwards (`false` also
+    /// when there was none). Serving traffic steps the session implicitly;
+    /// call this directly to drain a session faster than traffic would, or
+    /// to finish it during an idle period:
+    ///
+    /// ```no_run
+    /// # fn demo(engine: &mut realloc_engine::Engine) -> Result<(), realloc_engine::EngineError> {
+    /// while engine.rebalance_step()? {}
+    /// let report = engine.take_rebalance_report().expect("session completed");
+    /// # Ok(()) }
+    /// ```
+    pub fn rebalance_step(&mut self) -> Result<bool, EngineError> {
+        self.step_session()
+    }
+
+    /// The report of the most recently completed
+    /// [online session](Engine::rebalance_online), if one finished since
+    /// the last call. (Sessions complete inside serving calls, so the
+    /// report is parked here rather than returned from any one of them.)
+    pub fn take_rebalance_report(&mut self) -> Option<RebalanceReport> {
+        self.finished.take()
+    }
+
+    /// Executes one bounded batch of the active session; finishes the
+    /// session (defrag pass, closing stats, report parking, policy
+    /// back-off) when the plan runs dry. Returns whether a session remains
+    /// active. On a migration failure the session is aborted: completed
+    /// transfers are already pinned, unexecuted plan entries are dropped
+    /// (their objects simply stay home), and the error surfaces.
+    fn step_session(&mut self) -> Result<bool, EngineError> {
+        let Some(mut session) = self.session.take() else {
+            return Ok(false);
+        };
+        let batch: Vec<Migration> = {
+            let take = session.batch_objects.min(session.plan.len());
+            session.plan.drain(..take).collect()
+        };
+        if !batch.is_empty() {
+            // FIFO is the freeze: any buffered request for a migrating
+            // object must reach its source ahead of the MigrateOut. Only
+            // the batch's *source* shards need it — a migrating id still
+            // routes to its source until the flip, so no other shard's
+            // buffer can hold a request for one — and flushing just those
+            // keeps the rest of the fleet's channel batching intact.
+            let mut sources: Vec<usize> = batch.iter().map(|m| m.from).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            for shard in sources {
+                self.flush_shard(shard)?;
+            }
+            let outcome = self.migrate(&batch)?;
+            for &(id, _, to) in &outcome.completed {
+                self.router.assign(id, to);
+            }
+            session.batches += 1;
+            let (objects, volume) = outcome.totals();
+            session.migrated_objects += objects;
+            session.migrated_volume += volume;
+            if let Err(err) = outcome.surface() {
+                // Abort: the session is not restored, so the remaining
+                // plan is dropped with routing consistent. Back the policy
+                // off so it does not immediately re-fire into a broken
+                // fleet.
+                if let Some((policy, _)) = &mut self.auto {
+                    policy.note_rebalanced();
+                }
+                return Err(err);
+            }
+        }
+        if !session.plan.is_empty() {
+            self.session = Some(session);
+            return Ok(true);
+        }
+        let defrag = match session.defrag_eps {
+            Some(eps) => self.barrier(|reply| Command::Defrag { eps, reply })?,
+            None => Vec::new(),
+        };
+        let after = self.snapshot_inner()?;
+        self.finished = Some(RebalanceReport {
+            before: session.before,
+            after,
+            migrated_objects: session.migrated_objects,
+            migrated_volume: session.migrated_volume,
+            defrag,
+            mode: RebalanceMode::Online,
+            batches: session.batches,
+        });
+        if let Some((policy, _)) = &mut self.auto {
+            policy.note_rebalanced();
+        }
+        Ok(false)
+    }
+
+    /// Installs an auto-rebalance policy: every [`quiesce`](Engine::quiesce)
+    /// / [`snapshot`](Engine::snapshot) feeds its imbalance ratio to
+    /// `policy`, and when the policy fires the engine starts an
+    /// [online session](Engine::rebalance_online) with `opts` by itself.
+    /// Observations are skipped while a session is draining, and the
+    /// policy's hysteresis starts counting when one completes.
+    ///
+    /// The policy is only consulted through a router that supports
+    /// assignment; behind a frozen hash router it stays silent — there is
+    /// nothing a rebalance could move, so firing would only produce
+    /// [`EngineError::FixedRouting`] noise at barriers.
+    pub fn set_auto_rebalance(&mut self, policy: RebalancePolicy, opts: RebalanceOptions) {
+        Self::validate_defrag_eps(&opts);
+        self.auto = Some((policy, opts));
+    }
+
+    /// Removes the auto-rebalance policy (an active session still drains),
+    /// returning it — its streak/cooldown state can be inspected or
+    /// re-installed later.
+    pub fn clear_auto_rebalance(&mut self) -> Option<RebalancePolicy> {
+        self.auto.take().map(|(policy, _)| policy)
+    }
+
+    /// The installed auto-rebalance policy, if any.
+    pub fn auto_rebalance(&self) -> Option<&RebalancePolicy> {
+        self.auto.as_ref().map(|(policy, _)| policy)
+    }
+
+    /// Feeds one barrier's stats to the auto-rebalance policy and starts an
+    /// online session if it fires.
+    fn policy_observe(&mut self, stats: &EngineStats) -> Result<(), EngineError> {
+        if self.session.is_some() || !self.router.supports_assignment() {
+            return Ok(());
+        }
+        let Some((policy, opts)) = &mut self.auto else {
+            return Ok(());
+        };
+        if policy.observe(stats.imbalance_ratio()) {
+            let opts = *opts;
+            self.rebalance_online(opts)?;
+        }
+        Ok(())
     }
 
     /// Resizes the live engine to `shards` shards, reusing the rebalance
@@ -495,7 +850,9 @@ impl Engine {
     ///
     /// Works with any router (shrinking a hash-routed engine simply migrates
     /// more objects). Per-object request order is preserved: everything
-    /// happens inside one quiesce barrier.
+    /// happens inside one quiesce barrier. An active
+    /// [online session](Engine::rebalance_online) is stepped to completion
+    /// first, so the resize plan sees settled routing.
     ///
     /// # Panics
     /// Panics if `shards` is zero.
@@ -508,8 +865,9 @@ impl Engine {
         F: FnMut(usize) -> BoxedReallocator,
     {
         assert!(shards > 0, "engine needs at least one shard");
+        while self.step_session()? {}
         let from = self.config.shards;
-        self.quiesce()?;
+        self.quiesce_inner()?;
         if shards == from {
             return Ok(ResizeReport {
                 from,
@@ -602,13 +960,15 @@ impl Engine {
 
     /// Executes a migration plan: all migrate-outs first (each source shard
     /// drains before replying, so no id is ever live on two shards), then
-    /// migrate-ins for exactly the objects their sources released. Both
-    /// halves are barriers with per-object acks, so one broken reallocator
-    /// cannot desync the fleet: unreleased objects stay home (reported as
-    /// `stranded`, so callers that changed the routing basis can re-pin
-    /// them), and everything else completes. The first rejection is
-    /// remembered in the outcome — the caller surfaces it only *after*
-    /// making the routing table match physical ownership.
+    /// migrate-ins for exactly the objects their sources released — at the
+    /// sizes their sources *acked*, not the sizes the planner snapshotted,
+    /// so an object resized by serving traffic mid-session transfers
+    /// faithfully. Both halves are barriers with per-object acks, so one
+    /// broken reallocator cannot desync the fleet: unreleased objects stay
+    /// home (reported as `stranded`, so callers that changed the routing
+    /// basis can re-pin them), and everything else completes. The first
+    /// rejection is remembered in the outcome — the caller surfaces it only
+    /// *after* making the routing table match physical ownership.
     fn migrate(&mut self, plan: &[Migration]) -> Result<MigrationOutcome, EngineError> {
         let mut outcome = MigrationOutcome::default();
         if plan.is_empty() {
@@ -628,17 +988,17 @@ impl Engine {
             self.send(shard, Command::MigrateOut { ids, reply: tx })?;
             waiting.push((shard, rx));
         }
-        let mut released = HashSet::new();
+        let mut released: HashMap<ObjectId, u64> = HashMap::new();
         for (shard, rx) in waiting {
-            let (reply, ids) = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
+            let (reply, acks) = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
             outcome.note_error(shard, reply.first_error);
-            released.extend(ids);
+            released.extend(acks);
         }
 
         let mut ins: Vec<Vec<(ObjectId, u64)>> = vec![Vec::new(); n];
         for m in plan {
-            if released.contains(&m.id) {
-                ins[m.to].push((m.id, m.size));
+            if let Some(&size) = released.get(&m.id) {
+                ins[m.to].push((m.id, size));
             }
         }
         let mut waiting = Vec::new();
@@ -659,8 +1019,8 @@ impl Engine {
 
         for m in plan {
             if adopted.contains(&m.id) {
-                outcome.completed.push((m.id, m.size, m.to));
-            } else if !released.contains(&m.id) {
+                outcome.completed.push((m.id, released[&m.id], m.to));
+            } else if !released.contains_key(&m.id) {
                 outcome.stranded.push((m.id, m.from));
             }
         }
@@ -672,8 +1032,11 @@ impl Engine {
     /// ledger* — the per-shard move logs that post-hoc cost pricing needs.
     /// Shards retired by a shrinking [`resize_shards`](Engine::resize_shards)
     /// follow the live shards, so no history is lost. Surfaces the first
-    /// request-level error instead, if any shard saw one.
+    /// request-level error instead, if any shard saw one. An active
+    /// [online session](Engine::rebalance_online) is stepped to completion
+    /// first — a shutdown must not strand half a migration plan.
     pub fn shutdown(mut self) -> Result<Vec<ShardFinal>, EngineError> {
+        while self.step_session()? {}
         let mut finals = self.barrier(Command::Finish)?;
         self.senders.clear();
         for worker in self.workers.drain(..) {
@@ -918,6 +1281,10 @@ mod tests {
             EngineError::FixedRouting { router: "hash" }.to_string(),
             "router \"hash\" cannot pin ids to shards; rebalancing needs a table router"
         );
+        assert_eq!(
+            EngineError::RebalanceInProgress.to_string(),
+            "an online rebalance session is already in progress"
+        );
     }
 
     /// Loads shard 0 of a table-routed engine far above the others by
@@ -1100,53 +1467,53 @@ mod tests {
         assert_eq!(ins, outs, "every transfer has both halves");
     }
 
-    #[test]
-    fn partial_migration_failure_keeps_routing_consistent() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+    /// A Bump whose inserts can be switched off — stands in for a
+    /// broken reallocator rejecting migrate-ins mid-rebalance.
+    struct FlakyBump {
+        inner: Bump,
+        fail_inserts: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+    impl Reallocator for FlakyBump {
+        fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError> {
+            if self.fail_inserts.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(ReallocError::ZeroSize);
+            }
+            self.inner.insert(id, size)
+        }
+        fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
+            self.inner.delete(id)
+        }
+        fn extent_of(&self, id: ObjectId) -> Option<Extent> {
+            self.inner.extent_of(id)
+        }
+        fn live_volume(&self) -> u64 {
+            self.inner.live_volume()
+        }
+        fn structure_size(&self) -> u64 {
+            self.inner.structure_size()
+        }
+        fn footprint(&self) -> u64 {
+            self.inner.footprint()
+        }
+        fn max_object_size(&self) -> u64 {
+            self.inner.max_object_size()
+        }
+        fn name(&self) -> &'static str {
+            "flaky-bump"
+        }
+        fn live_count(&self) -> usize {
+            self.inner.live_count()
+        }
+    }
+
+    /// A two-shard table-routed engine whose shard 1 rejects inserts
+    /// whenever the returned switch is flipped on.
+    fn flaky_engine() -> (Engine, std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
-
-        /// A Bump whose inserts can be switched off — stands in for a
-        /// broken reallocator rejecting migrate-ins mid-rebalance.
-        struct FlakyBump {
-            inner: Bump,
-            fail_inserts: Arc<AtomicBool>,
-        }
-        impl Reallocator for FlakyBump {
-            fn insert(&mut self, id: ObjectId, size: u64) -> Result<Outcome, ReallocError> {
-                if self.fail_inserts.load(Ordering::Relaxed) {
-                    return Err(ReallocError::ZeroSize);
-                }
-                self.inner.insert(id, size)
-            }
-            fn delete(&mut self, id: ObjectId) -> Result<Outcome, ReallocError> {
-                self.inner.delete(id)
-            }
-            fn extent_of(&self, id: ObjectId) -> Option<Extent> {
-                self.inner.extent_of(id)
-            }
-            fn live_volume(&self) -> u64 {
-                self.inner.live_volume()
-            }
-            fn structure_size(&self) -> u64 {
-                self.inner.structure_size()
-            }
-            fn footprint(&self) -> u64 {
-                self.inner.footprint()
-            }
-            fn max_object_size(&self) -> u64 {
-                self.inner.max_object_size()
-            }
-            fn name(&self) -> &'static str {
-                "flaky-bump"
-            }
-            fn live_count(&self) -> usize {
-                self.inner.live_count()
-            }
-        }
-
         let fail = Arc::new(AtomicBool::new(false));
         let fail_factory = Arc::clone(&fail);
-        let mut e = Engine::with_router(
+        let engine = Engine::with_router(
             EngineConfig::with_shards(2),
             Box::new(TableRouter::new(2)),
             move |shard| {
@@ -1160,6 +1527,14 @@ mod tests {
                 }
             },
         );
+        (engine, fail)
+    }
+
+    #[test]
+    fn partial_migration_failure_keeps_routing_consistent() {
+        use std::sync::atomic::Ordering;
+
+        let (mut e, fail) = flaky_engine();
         // Skew all volume onto shard 0, so the rebalance plan targets the
         // (soon to be broken) shard 1.
         skew_toward_shard_zero(&mut e, 60);
@@ -1194,6 +1569,297 @@ mod tests {
             e.quiesce().unwrap_err(),
             EngineError::Request { shard: 1, .. }
         ));
+    }
+
+    #[test]
+    fn online_partial_failure_aborts_session_with_consistent_routing() {
+        use std::sync::atomic::Ordering;
+
+        let (mut e, fail) = flaky_engine();
+        skew_toward_shard_zero(&mut e, 60);
+        let before = e.quiesce().unwrap();
+        let plan = e
+            .rebalance_online(RebalanceOptions::default().batched(2))
+            .unwrap();
+        assert!(plan.batches > 1);
+
+        // First step succeeds, then shard 1 starts rejecting adoptions.
+        assert!(e.rebalance_step().unwrap());
+        fail.store(true, Ordering::Relaxed);
+        let err = loop {
+            match e.rebalance_step() {
+                Ok(true) => {}
+                Ok(false) => panic!("session completed through a broken shard"),
+                Err(err) => break err,
+            }
+        };
+        assert!(matches!(err, EngineError::Request { shard: 1, .. }));
+        assert!(!e.rebalance_active(), "failed session must abort");
+        assert!(e.take_rebalance_report().is_none(), "no completion report");
+
+        // The batch that hit the broken shard is lost (its source released
+        // it), but routing matches physical ownership everywhere: every
+        // survivor routes to the shard that holds it, unexecuted plan
+        // entries simply stayed home.
+        let extents = e.extents().unwrap();
+        let mut survivors = 0;
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(e.shard_of(id), shard, "{id} routed to a stale shard");
+                survivors += 1;
+            }
+        }
+        assert!(survivors > 0 && survivors < before.live_count());
+    }
+
+    #[test]
+    fn online_rebalance_equalizes_while_serving() {
+        let mut e = table_engine(4);
+        skew_toward_shard_zero(&mut e, 400);
+        let before = e.quiesce().unwrap();
+        assert!(before.imbalance_ratio() > 2.0);
+
+        let plan = e
+            .rebalance_online(RebalanceOptions::default().batched(8))
+            .unwrap();
+        assert!(plan.objects > 0);
+        assert_eq!(plan.batches, plan.objects.div_ceil(8));
+        assert!(e.rebalance_active());
+
+        // Serve fresh traffic while the session drains; every dispatched
+        // batch steps the migration (batch size is 256, so trickle plenty).
+        let mut extra = 0u64;
+        while e.rebalance_active() {
+            for i in 0..600u64 {
+                e.insert(ObjectId(1_000_000 + extra * 1_000 + i), 2)
+                    .unwrap();
+            }
+            extra += 1;
+            assert!(extra < 100, "session never drained");
+        }
+        let report = e.take_rebalance_report().expect("completed session");
+        assert_eq!(report.mode, RebalanceMode::Online);
+        assert!(report.batches > 1, "one big batch is not incremental");
+        assert_eq!(report.migrated_objects, plan.objects);
+        assert!(
+            report.after.imbalance_ratio() < 1.25,
+            "imbalance {} after online rebalance",
+            report.after.imbalance_ratio()
+        );
+
+        // Mid-serving migration lost nothing: every id routes to its owner.
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.errors(), 0);
+        let extents = e.extents().unwrap();
+        let mut seen = 0;
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(e.shard_of(id), shard);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, stats.live_count());
+    }
+
+    #[test]
+    fn online_rebalance_steps_explicitly_and_reports_once() {
+        let mut e = table_engine(3);
+        skew_toward_shard_zero(&mut e, 300);
+        e.rebalance_online(RebalanceOptions::default().batched(16))
+            .unwrap();
+        // A second plan while draining is refused.
+        assert!(matches!(
+            e.rebalance_online(RebalanceOptions::default()),
+            Err(EngineError::RebalanceInProgress)
+        ));
+        let mut steps = 0;
+        while e.rebalance_step().unwrap() {
+            steps += 1;
+            assert!(steps < 1_000, "stuck session");
+        }
+        let report = e.take_rebalance_report().unwrap();
+        assert!(report.after.imbalance_ratio() < 1.25);
+        assert!(e.take_rebalance_report().is_none(), "report claimed twice");
+        // Stepping an idle engine is a no-op.
+        assert!(!e.rebalance_step().unwrap());
+    }
+
+    #[test]
+    fn online_rebalance_on_hash_router_is_rejected() {
+        let mut e = bump_engine(3);
+        skew_toward_shard_zero(&mut e, 300);
+        assert!(matches!(
+            e.rebalance_online(RebalanceOptions::default()),
+            Err(EngineError::FixedRouting { router: "hash" })
+        ));
+        assert!(!e.rebalance_active());
+    }
+
+    #[test]
+    fn balanced_online_rebalance_completes_with_empty_plan() {
+        let mut e = table_engine(1);
+        e.insert(ObjectId(1), 8).unwrap();
+        let plan = e.rebalance_online(RebalanceOptions::default()).unwrap();
+        assert_eq!(plan.objects, 0);
+        assert!(!e.rebalance_step().unwrap());
+        let report = e.take_rebalance_report().unwrap();
+        assert_eq!(report.migrated_objects, 0);
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn online_rebalance_survives_planned_objects_being_deleted() {
+        let mut e = table_engine(4);
+        skew_toward_shard_zero(&mut e, 400);
+        let plan = e
+            .rebalance_online(RebalanceOptions::default().batched(4))
+            .unwrap();
+        assert!(plan.objects > 4);
+        // Delete *everything* the plan could touch before it executes:
+        // every planned migrate-out must skip silently, not error.
+        let extents = e.extents().unwrap();
+        for list in &extents {
+            for &(id, _) in list {
+                e.delete(id).unwrap();
+            }
+        }
+        while e.rebalance_step().unwrap() {}
+        let report = e.take_rebalance_report().unwrap();
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.errors(), 0, "deleted plan entries must not error");
+        assert_eq!(stats.live_count(), 0);
+        assert!(report.migrated_objects <= plan.objects);
+    }
+
+    #[test]
+    fn online_rebalance_transfers_resized_reinserts_faithfully() {
+        // Between planning and execution, delete a planned object and
+        // re-insert the id at a different size: the transfer must carry
+        // the *current* size (the source's ack), not the planner's.
+        let mut e = table_engine(2);
+        skew_toward_shard_zero(&mut e, 60);
+        let plan = e
+            .rebalance_online(RebalanceOptions::default().batched(1))
+            .unwrap();
+        assert!(plan.objects > 0);
+        let survivors: Vec<ObjectId> = e
+            .extents()
+            .unwrap()
+            .iter()
+            .flatten()
+            .map(|&(id, _)| id)
+            .collect();
+        let total_before: u64 = e.quiesce().unwrap().live_volume();
+        let victim = survivors[0];
+        e.delete(victim).unwrap();
+        e.insert(victim, 123).unwrap();
+        while e.rebalance_step().unwrap() {}
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.errors(), 0);
+        // 8 cells (skew inserts) swapped for 123: volume moved with it.
+        assert_eq!(stats.live_volume(), total_before - 8 + 123);
+        let extents = e.extents().unwrap();
+        let found: Vec<u64> = extents
+            .iter()
+            .flatten()
+            .filter(|&&(id, _)| id == victim)
+            .map(|&(_, ext)| ext.len)
+            .collect();
+        assert_eq!(found, vec![123], "resized object lost or duplicated");
+    }
+
+    #[test]
+    fn auto_rebalance_policy_fires_at_barriers_and_drains_via_serving() {
+        let mut e = table_engine(4);
+        e.set_auto_rebalance(
+            RebalancePolicy::new(1.5, 2, 1),
+            RebalanceOptions::default().batched(32),
+        );
+        skew_toward_shard_zero(&mut e, 400);
+
+        // First breach observation: no trigger yet (k = 2).
+        let s1 = e.quiesce().unwrap();
+        assert!(s1.imbalance_ratio() > 1.5);
+        assert!(!e.rebalance_active());
+        // Second consecutive breach: the engine starts a session itself.
+        e.quiesce().unwrap();
+        assert!(e.rebalance_active(), "policy should have fired");
+
+        // Serving drains it.
+        let mut round = 0u64;
+        while e.rebalance_active() {
+            for i in 0..600u64 {
+                e.insert(ObjectId(2_000_000 + round * 1_000 + i), 1)
+                    .unwrap();
+            }
+            round += 1;
+            assert!(round < 100, "session never drained");
+        }
+        let report = e.take_rebalance_report().expect("auto session report");
+        assert_eq!(report.mode, RebalanceMode::Online);
+        assert!(report.after.imbalance_ratio() < 1.5);
+        assert_eq!(e.auto_rebalance().unwrap().cooldown(), 1, "hysteresis");
+
+        // The cooldown observation is swallowed even if skew returns.
+        e.quiesce().unwrap();
+        assert!(!e.rebalance_active());
+        let policy = e.clear_auto_rebalance().unwrap();
+        assert_eq!(policy.cooldown(), 0);
+        e.quiesce().unwrap();
+        assert!(!e.rebalance_active(), "cleared policy must not fire");
+    }
+
+    #[test]
+    fn auto_rebalance_stays_silent_behind_a_hash_router() {
+        let mut e = bump_engine(2);
+        e.set_auto_rebalance(RebalancePolicy::new(1.1, 1, 0), RebalanceOptions::default());
+        skew_toward_shard_zero(&mut e, 200);
+        let stats = e.quiesce().unwrap();
+        assert!(stats.imbalance_ratio() > 1.1);
+        assert!(!e.rebalance_active(), "nothing to move behind a hash map");
+    }
+
+    #[test]
+    fn barrier_ops_complete_an_active_session_first() {
+        let mut e = table_engine(4);
+        skew_toward_shard_zero(&mut e, 400);
+        e.rebalance_online(RebalanceOptions::default().batched(4))
+            .unwrap();
+        assert!(e.rebalance_active());
+        // A barrier rebalance finishes the online plan, then re-plans.
+        let report = e.rebalance(RebalanceOptions::default()).unwrap();
+        assert!(!e.rebalance_active());
+        assert_eq!(report.mode, RebalanceMode::Barrier);
+        let online = e.take_rebalance_report().expect("online report parked");
+        assert_eq!(online.mode, RebalanceMode::Online);
+        assert!(online.migrated_objects > 0);
+        assert!(report.after.imbalance_ratio() < 1.25);
+
+        // Same for resize and shutdown (fresh skew on fresh ids).
+        for list in &e.extents().unwrap() {
+            for &(id, _) in list {
+                e.delete(id).unwrap();
+            }
+        }
+        for i in 0..800u64 {
+            e.insert(ObjectId(10_000 + i), 8).unwrap();
+        }
+        let doomed: Vec<ObjectId> = (0..800u64)
+            .map(|i| ObjectId(10_000 + i))
+            .filter(|&id| e.shard_of(id) != 0)
+            .collect();
+        for id in doomed {
+            e.delete(id).unwrap();
+        }
+        e.rebalance_online(RebalanceOptions::default().batched(4))
+            .unwrap();
+        e.resize_shards(5, |_| Box::new(Bump::default())).unwrap();
+        assert!(!e.rebalance_active());
+        assert!(e.take_rebalance_report().is_some());
+        e.rebalance_online(RebalanceOptions::default().batched(4))
+            .unwrap();
+        let finals = e.shutdown().unwrap();
+        assert_eq!(finals.len(), 5);
     }
 
     #[test]

@@ -26,10 +26,29 @@
 //!   migration machinery to split or merge live shards (the rendezvous
 //!   fallback keeps a grow from re-homing more than `~1/n` of the ids).
 //!
+//! ## Rebalancing: barrier or online
+//!
+//! The same greedy largest-first migration plan executes two ways:
+//!
+//! * [`Engine::rebalance`] — **barrier**: quiesce the fleet, execute the
+//!   whole plan, return. Simple and immediately converged, but the caller
+//!   stalls for the entire migration.
+//! * [`Engine::rebalance_online`] — **online**: plan once, then migrate in
+//!   bounded batches *interleaved with serving* (each object: freeze →
+//!   copy → flip route → resume, so no id is ever live on two shards).
+//!   Serving traffic paces the session — one batch per dispatched serving
+//!   batch — or [`Engine::rebalance_step`] drains it explicitly; the
+//!   completion [`RebalanceReport`] is claimed with
+//!   [`Engine::take_rebalance_report`].
+//!
 //! Watch the [`EngineStats::imbalance_ratio`] observable
-//! (`max V_i / mean V_i`) to decide when to rebalance; migrations are
-//! ledgered as first-class ops (`MigrateIn` / `MigrateOut`) and priced as
-//! reallocations, so rebalancing is as cost-accountable as serving.
+//! (`max V_i / mean V_i`) to decide when to rebalance — or install a
+//! [`RebalancePolicy`] with [`Engine::set_auto_rebalance`] and let the
+//! engine trigger online sessions itself when the ratio has exceeded `τ`
+//! for `k` consecutive barrier observations (with hysteresis after each
+//! run). Migrations are ledgered as first-class ops
+//! (`MigrateIn` / `MigrateOut`) and priced as reallocations, so
+//! rebalancing is as cost-accountable as serving.
 //!
 //! ## Why sharding preserves the paper's guarantees
 //!
@@ -95,7 +114,10 @@ pub mod stats;
 
 pub use engine::{Engine, EngineConfig, EngineError};
 pub use realloc_common::router::{self, HashRouter, Router, TableRouter};
-pub use rebalance::{DefragSummary, RebalanceOptions, RebalanceReport, ResizeReport};
+pub use rebalance::{
+    DefragSummary, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy, RebalanceReport,
+    ResizeReport,
+};
 pub use route::shard_of;
 pub use shard::ShardFinal;
 pub use stats::{EngineStats, ShardStats};

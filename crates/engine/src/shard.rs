@@ -1,6 +1,6 @@
 //! The shard worker: one thread, one reallocator, one ledger.
 //!
-//! A worker loops on its command channel. [`Command::Batch`] carries a run
+//! A worker loops on its command channel. `Command::Batch` carries a run
 //! of requests (the engine batches to amortize channel overhead); the
 //! other commands are *barriers* — the engine sends them after flushing its
 //! pending batches, so by the time a reply arrives every earlier request
@@ -9,12 +9,14 @@
 //! continues, mirroring how a real service would 400 one request without
 //! tearing down the shard.
 //!
-//! The migration commands ([`Command::MigrateOut`] / [`Command::MigrateIn`])
-//! are the shard half of the engine's cross-shard rebalance protocol: both
-//! only ever arrive at a quiesce barrier, and a migrate-out drains the
-//! reallocator before replying so the object is fully gone from this shard
-//! before the engine re-inserts it elsewhere (no instant at which one id is
-//! live on two shards).
+//! The migration commands (`Command::MigrateOut` / `Command::MigrateIn`)
+//! are the shard half of the engine's cross-shard rebalance protocol. In
+//! barrier mode they arrive at a quiesce barrier; in online mode they arrive
+//! in the ordinary command stream, where channel FIFO order *is* the freeze:
+//! every request enqueued before the migrate-out is served before the object
+//! leaves. Either way a migrate-out drains the reallocator before replying,
+//! so the object is fully gone from this shard before the engine re-inserts
+//! it elsewhere (no instant at which one id is live on two shards).
 
 use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
@@ -71,14 +73,21 @@ pub(crate) enum Command {
     Extents(Sender<Vec<(ObjectId, Extent)>>),
     /// Rebalance protocol, outbound half: delete `ids` (they are being
     /// re-homed, not destroyed — ledgered as `MigrateOut`), drain deferred
-    /// work so they are fully gone, then reply with the ids actually
-    /// released (per-object acks let the engine skip the inbound half for
-    /// anything a broken reallocator refused to give up).
+    /// work so they are fully gone, then reply with the `(id, size)` of
+    /// every object actually released. Per-object acks let the engine skip
+    /// the inbound half for anything a broken reallocator refused to give
+    /// up, and the acked *size* (not the planner's snapshot) is what the
+    /// target shard inserts — so a delete + re-insert that changed an
+    /// object's size between planning and execution (possible in online
+    /// mode, where serving continues) cannot corrupt the transfer. Ids this
+    /// shard no longer considers live are skipped silently: under a quiesce
+    /// barrier that cannot happen, but an online rebalance races ordinary
+    /// deletes, and a legitimately deleted object is not an error.
     MigrateOut {
         /// Objects leaving this shard.
         ids: Vec<ObjectId>,
-        /// Barrier reply: shard state plus the released ids.
-        reply: Sender<(ShardReply, Vec<ObjectId>)>,
+        /// Barrier reply: shard state plus the released `(id, size)` pairs.
+        reply: Sender<(ShardReply, Vec<(ObjectId, u64)>)>,
     },
     /// Rebalance protocol, inbound half: insert `objects` (ledgered as
     /// `MigrateIn`; the transfer itself is priced as a reallocation), then
@@ -182,8 +191,13 @@ impl ShardWorker {
                 Command::MigrateOut { ids, reply } => {
                     let mut released = Vec::with_capacity(ids.len());
                     for id in ids {
-                        if self.migrate_out(id) {
-                            released.push(id);
+                        if !self.live.contains(&id) {
+                            // Deleted by serving traffic since the plan was
+                            // drawn (online mode only) — nothing to re-home.
+                            continue;
+                        }
+                        if let Some(size) = self.migrate_out(id) {
+                            released.push((id, size));
                         }
                     }
                     // Drain deferred deletes (the deamortized structure logs
@@ -284,9 +298,9 @@ impl ShardWorker {
 
     /// The outbound half of one cross-shard transfer: a delete that is
     /// ledgered as `MigrateOut` (the object lives on elsewhere) and counted
-    /// in the migration telemetry, not in `requests`. Returns whether the
-    /// reallocator released the object.
-    fn migrate_out(&mut self, id: ObjectId) -> bool {
+    /// in the migration telemetry, not in `requests`. Returns the released
+    /// object's size, or `None` if the reallocator refused to let go.
+    fn migrate_out(&mut self, id: ObjectId) -> Option<u64> {
         let size = self.realloc.extent_of(id).map_or(0, |e| e.len);
         match self.realloc.delete(id) {
             Ok(outcome) => {
@@ -308,11 +322,11 @@ impl ShardWorker {
                         delta_after: self.realloc.max_object_size(),
                     });
                 }
-                true
+                Some(size)
             }
             Err(error) => {
                 self.note_migration_error(error);
-                false
+                None
             }
         }
     }

@@ -173,6 +173,21 @@ impl EngineStats {
         self.per_shard.iter().map(|s| s.migrated_volume_in).sum()
     }
 
+    /// Total objects handed off to cross-shard migrations. Equal to
+    /// [`migrations`](Self::migrations) once every transfer's inbound half
+    /// has landed; during an [online
+    /// rebalance](crate::Engine::rebalance_online) the difference between
+    /// the two is the in-flight batch (and a broken reallocator rejecting
+    /// adoptions leaves it permanently positive — a desync telltale).
+    pub fn migrations_out(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.migrations_out).sum()
+    }
+
+    /// Total volume handed off via cross-shard migrations, in cells.
+    pub fn migrated_volume_out(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.migrated_volume_out).sum()
+    }
+
     /// Total moves across all shards' Theorem 2.7 defrag schedules.
     pub fn defrag_moves(&self) -> u64 {
         self.per_shard.iter().map(|s| s.defrag_moves).sum()
@@ -293,6 +308,8 @@ mod tests {
         };
         assert_eq!(stats.migrations(), 3);
         assert_eq!(stats.migrated_volume(), 30);
+        assert_eq!(stats.migrations_out(), 3);
+        assert_eq!(stats.migrated_volume_out(), 30);
         assert_eq!(stats.defrag_moves(), 7);
     }
 }

@@ -28,7 +28,7 @@ pub fn churn(config: &ChurnConfig) -> Workload {
     // `keep` nothing: the uniform delete draw is untouched (the predicate
     // check spends no RNG), so this is byte-identical to the historical
     // generator, seed for seed.
-    generate(config, |_| false, "churn")
+    generate(config, |_| false, None, "churn")
 }
 
 /// Churn whose deletes *spare* the objects matched by `keep`: inserts are
@@ -40,19 +40,42 @@ pub fn churn(config: &ChurnConfig) -> Workload {
 /// exactly the pattern a stateless hash router cannot repair and a
 /// cross-shard rebalancer exists for.
 pub fn skewed_churn(config: &ChurnConfig, keep: impl FnMut(ObjectId) -> bool) -> Workload {
-    generate(config, keep, "skewed-churn")
+    generate(config, keep, None, "skewed-churn")
 }
 
-/// The shared churn loop behind [`churn`] and [`skewed_churn`]. The live
-/// population is partitioned into deletable/kept pools *at insert time*
-/// (`keep` is evaluated once per id), so a delete is one uniform draw from
-/// the deletable pool — O(1) amortized, instead of rescanning the live set
-/// whenever kept objects dominate. With an empty predicate the deletable
-/// pool *is* the live set in the same order, so [`churn`]'s request
-/// streams are unchanged, seed for seed.
+/// [`skewed_churn`] whose skew *lets go* partway through: for the first
+/// `skew_ops` churn ops deletes spare the kept objects (driving imbalance
+/// up, exactly like `skewed_churn`), then the kept pool is released and the
+/// remaining `churn_ops - skew_ops` ops churn uniformly over everything.
+///
+/// This is the rebalance-measurement workload: phase one manufactures the
+/// imbalance, phase two is sustained *neutral* traffic during which a
+/// rebalance (barrier or online) can be triggered and its serving stalls
+/// and convergence measured without the adversary still fighting the
+/// repair. (Under never-ending skew, imbalance climbs again no matter how
+/// often the fleet rebalances — real hot-tenant storms end.)
+pub fn skewed_churn_release(
+    config: &ChurnConfig,
+    keep: impl FnMut(ObjectId) -> bool,
+    skew_ops: usize,
+) -> Workload {
+    generate(config, keep, Some(skew_ops), "skewed-churn-release")
+}
+
+/// The shared churn loop behind [`churn`], [`skewed_churn`], and
+/// [`skewed_churn_release`]. The live population is partitioned into
+/// deletable/kept pools *at insert time* (`keep` is evaluated once per id),
+/// so a delete is one uniform draw from the deletable pool — O(1)
+/// amortized, instead of rescanning the live set whenever kept objects
+/// dominate. With an empty predicate the deletable pool *is* the live set
+/// in the same order, so [`churn`]'s request streams are unchanged, seed
+/// for seed. At churn op `release_after` (if given) the kept pool is
+/// appended to the deletable pool and the predicate stops applying —
+/// deletes are uniform over everything from there on.
 fn generate(
     config: &ChurnConfig,
     mut keep: impl FnMut(ObjectId) -> bool,
+    release_after: Option<usize>,
     family: &str,
 ) -> Workload {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -67,11 +90,12 @@ fn generate(
                       deletable: &mut Vec<(ObjectId, u64)>,
                       kept: &mut Vec<(ObjectId, u64)>,
                       volume: &mut u64,
-                      ids: &mut IdSource| {
+                      ids: &mut IdSource,
+                      sparing: bool| {
         let size = config.dist.sample(rng);
         let id = ids.fresh();
         requests.push(Request::Insert { id, size });
-        if keep(id) {
+        if sparing && keep(id) {
             kept.push((id, size));
         } else {
             deletable.push((id, size));
@@ -87,10 +111,17 @@ fn generate(
             &mut kept,
             &mut volume,
             &mut ids,
+            release_after != Some(0),
         );
     }
 
-    for _ in 0..config.churn_ops {
+    for op in 0..config.churn_ops {
+        let sparing = release_after.is_none_or(|release| op < release);
+        if release_after == Some(op) {
+            // The skew lets go: everything spared so far churns uniformly
+            // from here on.
+            deletable.append(&mut kept);
+        }
         let any_live = !deletable.is_empty() || !kept.is_empty();
         if volume >= config.target_volume && any_live {
             // Deletes spare the kept pool while anything else remains.
@@ -111,6 +142,7 @@ fn generate(
                 &mut kept,
                 &mut volume,
                 &mut ids,
+                sparing,
             );
         }
     }
@@ -225,6 +257,82 @@ mod tests {
             churn(&cfg(4)).requests,
             skewed_churn(&cfg(4), |_| false).requests
         );
+    }
+
+    #[test]
+    fn skewed_churn_release_deletes_kept_objects_after_the_phase() {
+        use realloc_common::shard_of;
+        let config = ChurnConfig {
+            churn_ops: 2_000,
+            ..cfg(5)
+        };
+        let keep = |id: ObjectId| shard_of(id, 4) == 0;
+        let w = skewed_churn_release(&config, keep, 600);
+        assert!(w.validate().is_ok());
+        // Count churn-phase deletes of kept objects before/after release.
+        // Warm-up is insert-only, so deletes index the churn phase directly.
+        let mut churn_ops_seen = 0usize;
+        let mut kept_deleted_before = 0;
+        let mut kept_deleted_after = 0;
+        let mut warmed = false;
+        let mut inserts_seen = 0usize;
+        let warmup_inserts = {
+            // Warm-up length: inserts until volume first reaches target.
+            let mut vol = 0u64;
+            let mut count = 0usize;
+            for req in &w.requests {
+                if let Request::Insert { size, .. } = *req {
+                    count += 1;
+                    vol += size;
+                    if vol >= config.target_volume {
+                        break;
+                    }
+                }
+            }
+            count
+        };
+        for req in &w.requests {
+            if !warmed {
+                if let Request::Insert { .. } = req {
+                    inserts_seen += 1;
+                    if inserts_seen == warmup_inserts {
+                        warmed = true;
+                    }
+                }
+                continue;
+            }
+            if let Request::Delete { id } = *req {
+                if shard_of(id, 4) == 0 {
+                    if churn_ops_seen < 600 {
+                        kept_deleted_before += 1;
+                    } else {
+                        kept_deleted_after += 1;
+                    }
+                }
+            }
+            churn_ops_seen += 1;
+        }
+        assert_eq!(kept_deleted_before, 0, "skew phase must spare kept ids");
+        assert!(kept_deleted_after > 0, "release phase must churn kept ids");
+    }
+
+    #[test]
+    fn skewed_churn_release_matches_skewed_churn_through_the_skew_phase() {
+        // The release variant is byte-identical to plain skewed churn up to
+        // the release point (same RNG draws, same pools).
+        let config = ChurnConfig {
+            churn_ops: 800,
+            ..cfg(11)
+        };
+        let keep = |id: ObjectId| id.0.is_multiple_of(4);
+        let all = skewed_churn(&config, keep);
+        let released = skewed_churn_release(&config, keep, 500);
+        let warmup = all.requests.len() - 800;
+        assert_eq!(
+            all.requests[..warmup + 500],
+            released.requests[..warmup + 500]
+        );
+        assert_ne!(all.requests, released.requests);
     }
 
     #[test]

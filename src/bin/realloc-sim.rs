@@ -30,10 +30,26 @@
 //!   --batch <n>          requests per channel batch (default 256)
 //!   --router <kind>      hash (default) or table (id → shard map with a
 //!                        rendezvous fallback; enables rebalancing)
-//!   --rebalance-every <n>  rebalance after every n requests (table router)
+//!   --rebalance-every <n>  rebalance after every n requests (table router).
+//!                        Barrier mode by default: the whole fleet quiesces
+//!                        and the full migration plan executes in one stall.
+//!                        Add --online to migrate in bounded batches
+//!                        interleaved with serving instead.
+//!   --online             make each --rebalance-every rebalance an online
+//!                        (incremental) session rather than a quiesce barrier
+//!   --auto-rebalance     install the driver-side policy instead of a fixed
+//!                        cadence: observe imbalance every chunk and fire an
+//!                        online rebalance after k consecutive observations
+//!                        above τ, with post-rebalance hysteresis
+//!   --tau <f>            auto-rebalance trigger threshold τ (default 1.5)
+//!   --policy-k <n>       consecutive breaches required (default 3)
+//!   --hysteresis <n>     observations ignored after a rebalance (default 2)
 //!   --resize <n>         resize to n shards at the workload's midpoint
 //!   --defrag             run the per-shard Thm 2.7 defrag with each rebalance
 //!   --eps / --trace / --churn / --seed   as above
+//!
+//! Every rebalance line printed by the engine run reports whether it ran in
+//! barrier or online mode.
 //! ```
 
 use std::process::ExitCode;
@@ -69,6 +85,11 @@ struct Args {
     batch: usize,
     router: String,
     rebalance_every: Option<usize>,
+    online: bool,
+    auto_rebalance: bool,
+    tau: f64,
+    policy_k: usize,
+    hysteresis: usize,
     resize: Option<usize>,
     defrag: bool,
 }
@@ -88,6 +109,11 @@ fn parse_args() -> Result<Args, String> {
         batch: 256,
         router: "hash".into(),
         rebalance_every: None,
+        online: false,
+        auto_rebalance: false,
+        tau: 1.5,
+        policy_k: 3,
+        hysteresis: 2,
         resize: None,
         defrag: false,
     };
@@ -150,6 +176,29 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.rebalance_every = Some(n);
             }
+            "--online" if engine_mode => args.online = true,
+            "--auto-rebalance" if engine_mode => args.auto_rebalance = true,
+            "--tau" if engine_mode => {
+                args.tau = next("a threshold")?
+                    .parse()
+                    .map_err(|e| format!("--tau: {e}"))?;
+                if args.tau <= 1.0 {
+                    return Err("--tau must exceed 1.0 (perfect balance)".into());
+                }
+            }
+            "--policy-k" if engine_mode => {
+                args.policy_k = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("--policy-k: {e}"))?;
+                if args.policy_k == 0 {
+                    return Err("--policy-k must be positive".into());
+                }
+            }
+            "--hysteresis" if engine_mode => {
+                args.hysteresis = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("--hysteresis: {e}"))?;
+            }
             "--resize" if engine_mode => {
                 let n: usize = next("a shard count")?
                     .parse()
@@ -177,8 +226,17 @@ fn parse_args() -> Result<Args, String> {
     if args.rebalance_every.is_some() && args.router != "table" {
         return Err("--rebalance-every needs --router table (the hash map is frozen)".into());
     }
-    if args.defrag && args.rebalance_every.is_none() {
-        return Err("--defrag needs --rebalance-every".into());
+    if args.auto_rebalance && args.router != "table" {
+        return Err("--auto-rebalance needs --router table (the hash map is frozen)".into());
+    }
+    if args.auto_rebalance && args.rebalance_every.is_some() {
+        return Err("--auto-rebalance replaces the fixed --rebalance-every cadence".into());
+    }
+    if args.online && args.rebalance_every.is_none() {
+        return Err("--online modifies --rebalance-every (auto-rebalance is always online)".into());
+    }
+    if args.defrag && args.rebalance_every.is_none() && !args.auto_rebalance {
+        return Err("--defrag needs --rebalance-every or --auto-rebalance".into());
     }
     Ok(args)
 }
@@ -219,14 +277,52 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     } else {
         RebalanceOptions::default()
     };
-    // A resize fires at the midpoint, so without --rebalance-every the
+    if args.auto_rebalance {
+        engine.set_auto_rebalance(
+            RebalancePolicy::new(args.tau, args.policy_k, args.hysteresis),
+            rebalance_opts,
+        );
+        println!(
+            "policy:    auto-rebalance (τ = {}, k = {}, hysteresis = {})",
+            args.tau, args.policy_k, args.hysteresis
+        );
+    }
+    // Observation cadence for --auto-rebalance (the policy observes
+    // imbalance at one snapshot barrier per this many requests).
+    const OBSERVE_EVERY: usize = 4_096;
+    // A resize fires at the midpoint, so without a rebalance cadence the
     // workload still needs to arrive in (at least) two chunks.
     let midpoint = workload.len() / 2;
-    let chunk_size = args.rebalance_every.unwrap_or(if args.resize.is_some() {
+    let chunk_size = if let Some(n) = args.rebalance_every {
+        n
+    } else if args.auto_rebalance {
+        OBSERVE_EVERY
+    } else if args.resize.is_some() {
         midpoint.max(1)
     } else {
         workload.len().max(1)
-    });
+    };
+    let print_report = |served: usize, report: &RebalanceReport| {
+        println!(
+            "rebalance @{served:>8} ({} mode, {} batch{}): imbalance {:.2} -> {:.2}, \
+             {} objects / {} cells migrated{}",
+            report.mode,
+            report.batches,
+            if report.batches == 1 { "" } else { "es" },
+            report.before.imbalance_ratio(),
+            report.after.imbalance_ratio(),
+            report.migrated_objects,
+            report.migrated_volume,
+            if report.defrag.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", defrag {} moves",
+                    report.defrag.iter().map(|d| d.total_moves).sum::<u64>()
+                )
+            }
+        );
+    };
 
     let start = std::time::Instant::now();
     let run = (|| -> Result<(), EngineError> {
@@ -235,23 +331,26 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         for chunk in workload.requests.chunks(chunk_size.max(1)) {
             engine.drive(&Workload::new("chunk", chunk.to_vec()))?;
             served += chunk.len();
-            if args.rebalance_every.is_some() {
-                let report = engine.rebalance(rebalance_opts)?;
-                println!(
-                    "rebalance @{served:>8}: imbalance {:.2} -> {:.2}, {} objects / {} cells migrated{}",
-                    report.before.imbalance_ratio(),
-                    report.after.imbalance_ratio(),
-                    report.migrated_objects,
-                    report.migrated_volume,
-                    if report.defrag.is_empty() {
-                        String::new()
-                    } else {
-                        format!(
-                            ", defrag {} moves",
-                            report.defrag.iter().map(|d| d.total_moves).sum::<u64>()
-                        )
+            if args.auto_rebalance {
+                let was_active = engine.rebalance_active();
+                engine.snapshot()?; // the policy observes at this barrier
+                if !was_active && engine.rebalance_active() {
+                    println!("policy    @{served:>8}: fired, online session started");
+                }
+            } else if args.rebalance_every.is_some() {
+                if args.online {
+                    if !engine.rebalance_active() {
+                        engine.rebalance_online(rebalance_opts)?;
                     }
-                );
+                } else {
+                    let report = engine.rebalance(rebalance_opts)?;
+                    print_report(served, &report);
+                }
+            }
+            // Online sessions (fixed-cadence or policy-fired) complete
+            // inside serving calls; their reports are claimed here.
+            if let Some(report) = engine.take_rebalance_report() {
+                print_report(served, &report);
             }
             if !resized && served >= midpoint {
                 resized = true;
@@ -261,7 +360,17 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
                     "resize    @{served:>8}: {} -> {} shards, {} objects / {} cells migrated",
                     report.from, report.to, report.migrated_objects, report.migrated_volume
                 );
+                if let Some(report) = engine.take_rebalance_report() {
+                    print_report(served, &report);
+                }
             }
+        }
+        // Don't let the policy fire into the closing barriers; drain any
+        // session that is still migrating.
+        engine.clear_auto_rebalance();
+        while engine.rebalance_step()? {}
+        if let Some(report) = engine.take_rebalance_report() {
+            print_report(workload.len(), &report);
         }
         engine.quiesce().map(|_| ())
     })();
@@ -387,8 +496,11 @@ fn main() -> ExitCode {
                 "error: {e}\n\n\
                  usage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]\n\
                  \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
-                 \x20                         [--rebalance-every n] [--resize n] [--defrag]\n\
-                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]"
+                 \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
+                 \x20                         [--resize n] [--defrag]\n\
+                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
+                 \x20      (--rebalance-every alone quiesces the whole fleet per rebalance; --online or\n\
+                 \x20       --auto-rebalance migrate in bounded batches interleaved with serving)"
             );
             return ExitCode::FAILURE;
         }

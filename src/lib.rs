@@ -54,16 +54,16 @@ pub mod prelude {
         BuddyAllocator, FitStrategy, FreeListAllocator, LogCompactAllocator, SizeClassGapsAllocator,
     };
     pub use crate::common::{
-        BoxedReallocator, Extent, HashRouter, Ledger, ObjectId, Outcome, ReallocError, Reallocator,
-        Router, StorageOp, TableRouter,
+        BoxedReallocator, Extent, HashRouter, Ledger, ObjectId, OpKind, Outcome, ReallocError,
+        Reallocator, Router, StorageOp, TableRouter,
     };
     pub use crate::core::{
         defragment, CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator,
     };
     pub use crate::cost::{standard_suite, CostFn};
     pub use crate::engine::{
-        DefragSummary, Engine, EngineConfig, EngineError, EngineStats, RebalanceOptions,
-        RebalanceReport, ResizeReport, ShardStats,
+        DefragSummary, Engine, EngineConfig, EngineError, EngineStats, OnlinePlan, RebalanceMode,
+        RebalanceOptions, RebalancePolicy, RebalanceReport, ResizeReport, ShardStats,
     };
     pub use crate::harness::{run_workload, RunConfig, RunResult};
     pub use crate::sim::{Mode, SimStore};

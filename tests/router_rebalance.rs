@@ -1,24 +1,31 @@
 //! The routing layer's contract under rebalancing and resizing.
 //!
-//! Two levels of assurance:
+//! Three levels of assurance:
 //!
-//! * A property test: a `TableRouter` engine with *interleaved*
-//!   `rebalance()` / `resize_shards()` calls between workload segments is
-//!   observationally equivalent to an unsharded standalone replay — no
-//!   object lost or duplicated, every live id routed to the shard that
-//!   actually owns it, identical final object set (ids and sizes), and the
-//!   aggregate footprint still within `(1+ε)·Σ V_i + N·∆` — for all three
-//!   paper variants.
-//! * The acceptance scenario: a skewed-delete workload drives hash-routed
+//! * Property tests: a `TableRouter` engine with *interleaved*
+//!   `rebalance()` / `resize_shards()` calls between workload segments —
+//!   and, separately, with an *online* rebalance session stepped between
+//!   serving segments — is observationally equivalent to an unsharded
+//!   standalone replay: no object lost or duplicated, every live id routed
+//!   to the shard that actually owns it, identical final object set (ids
+//!   and sizes), and the aggregate footprint within `(1+ε)·Σ V_i + N·∆`
+//!   (checked at *every batch boundary* in the online test) — for all
+//!   three paper variants.
+//! * The acceptance scenarios: a skewed-delete workload drives hash-routed
 //!   shard imbalance above 2×; the same pattern on a `TableRouter` engine
-//!   is repaired by one `rebalance()` to below 1.25×.
+//!   is repaired to below 1.25× by one barrier `rebalance()` — and by an
+//!   online session that migrates in bounded batches while serving
+//!   continues.
+//! * The driver loop: an auto-rebalance policy installed on the engine
+//!   fires by itself once imbalance has breached τ for k observations and
+//!   repairs the fleet without any explicit rebalance call.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use storage_realloc::engine::shard_of;
 use storage_realloc::prelude::*;
-use storage_realloc::workloads::churn::{skewed_churn, ChurnConfig};
+use storage_realloc::workloads::churn::{skewed_churn, skewed_churn_release, ChurnConfig};
 use storage_realloc::workloads::dist::SizeDist;
 
 const VARIANTS: [&str; 3] = ["cost-oblivious", "checkpointed", "deamortized"];
@@ -172,6 +179,102 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Online rebalancing interleaved with serving must not change what
+    /// the engine *is* either — and because the session advances in
+    /// bounded batches, the aggregate footprint bound is checked at
+    /// *every batch boundary*, not just at the end.
+    #[test]
+    fn interleaved_online_rebalance_is_observationally_equivalent(
+        ops in op_sequence(),
+        eps in 0.1f64..=0.5,
+        shards in 2usize..=4,
+        batch_objects in 1usize..=8,
+    ) {
+        // (The vendored proptest caps strategies at 4-tuples; vary the
+        // trigger point with the batch bound instead of a 5th parameter.)
+        let start_segment = batch_objects % 3;
+        let workload = materialize(&ops);
+        let reference = reference_set(&workload);
+
+        for variant in VARIANTS {
+            let mut engine = Engine::with_router(
+                EngineConfig { batch: 16, queue_depth: 2, ..EngineConfig::with_shards(shards) },
+                Box::new(TableRouter::new(shards)),
+                |_| build(variant, eps),
+            );
+
+            let segments = 4;
+            let chunk = workload.len().div_ceil(segments).max(1);
+            let bound_holds = |engine: &mut Engine| -> Result<(), TestCaseError> {
+                let stats = engine.quiesce().expect("quiesce");
+                let n = stats.shards() as u64;
+                let bound = (1.0 + eps) * stats.live_volume() as f64
+                    + (n * stats.max_object_size()) as f64;
+                prop_assert!(
+                    stats.footprint() as f64 <= bound + 1e-9,
+                    "footprint {} > (1+ε)·ΣV + N·∆ = {}", stats.footprint(), bound
+                );
+                Ok(())
+            };
+
+            let mut started = false;
+            for (i, seg) in workload.requests.chunks(chunk).enumerate() {
+                // While the session is active, drive() serves through the
+                // route-at-enqueue path and advances the migration itself —
+                // serving and migrating genuinely interleave here.
+                engine.drive(&Workload::new("seg", seg.to_vec())).expect("drive");
+                if i == start_segment {
+                    let plan = engine
+                        .rebalance_online(
+                            RebalanceOptions::default().batched(batch_objects),
+                        )
+                        .expect("plan");
+                    prop_assert_eq!(
+                        plan.batches,
+                        plan.objects.div_ceil(batch_objects as u64)
+                    );
+                    started = true;
+                }
+                // One explicit step per segment, with the footprint bound
+                // checked at the batch boundary; the rest of the plan
+                // drains inside the following segments' serving.
+                if engine.rebalance_step().expect("step") {
+                    bound_holds(&mut engine)?;
+                }
+            }
+            // Drain whatever is left, still checking every batch boundary.
+            while engine.rebalance_step().expect("step") {
+                bound_holds(&mut engine)?;
+            }
+            if started {
+                let report = engine.take_rebalance_report().expect("completed session");
+                prop_assert_eq!(report.mode, RebalanceMode::Online, "{}", variant);
+            }
+            bound_holds(&mut engine)?;
+
+            // Same final object set as the unsharded replay.
+            let extents = engine.extents().expect("extents");
+            let mut seen = BTreeMap::new();
+            for (shard, list) in extents.iter().enumerate() {
+                for &(id, extent) in list {
+                    prop_assert!(
+                        seen.insert(id, extent.len).is_none(),
+                        "{variant}: {id} lives on two shards"
+                    );
+                    prop_assert_eq!(
+                        engine.shard_of(id), shard,
+                        "{}: {} owned by shard {} but routed elsewhere", variant, id, shard
+                    );
+                }
+            }
+            prop_assert_eq!(&seen, &reference, "{}: object set diverged", variant);
+        }
+    }
+}
+
 /// The acceptance scenario from the issue: skewed deletes push hash-routed
 /// imbalance past 2×; one table-routed rebalance pulls it under 1.25.
 #[test]
@@ -250,6 +353,143 @@ fn skewed_deletes_hash_imbalance_repaired_by_table_rebalance() {
         );
         assert_eq!(empty.live_count(), 0);
     }
+}
+
+/// The online acceptance scenario: the same skew repaired to < 1.25× by a
+/// rebalance that never quiesces the fleet — the migration drains in
+/// bounded batches while a whole second phase of (released, neutral) churn
+/// is being served, and nothing is lost.
+#[test]
+fn skewed_deletes_repaired_by_online_rebalance_while_serving() {
+    const SHARDS: usize = 4;
+    const EPS: f64 = 0.25;
+    let config = ChurnConfig {
+        dist: SizeDist::Uniform { lo: 1, hi: 64 },
+        target_volume: 6_000,
+        churn_ops: 6_000,
+        seed: 20_140_623,
+    };
+    // Skew for the first half of the churn, neutral traffic after — the
+    // rebalance runs during the neutral phase.
+    let probe = TableRouter::new(SHARDS);
+    let workload = skewed_churn_release(&config, |id| probe.route(id) == 0, 3_000);
+    let reference = reference_set(&workload);
+    let skew_requests = workload.len() - 3_000;
+
+    for variant in VARIANTS {
+        let mut engine = Engine::with_router(
+            EngineConfig::with_shards(SHARDS),
+            Box::new(TableRouter::new(SHARDS)),
+            |_| build(variant, EPS),
+        );
+        engine
+            .drive(&Workload::new(
+                "skew",
+                workload.requests[..skew_requests].to_vec(),
+            ))
+            .expect("drive skew phase");
+        let before = engine.quiesce().expect("quiesce");
+        assert!(
+            before.imbalance_ratio() > 2.0,
+            "{variant}: skew too weak ({})",
+            before.imbalance_ratio()
+        );
+
+        let plan = engine
+            .rebalance_online(RebalanceOptions::default().batched(16))
+            .expect("plan");
+        assert!(plan.objects > 16, "{variant}: trivial plan");
+        // Serve the whole neutral phase while the session drains.
+        engine
+            .drive(&Workload::new(
+                "neutral",
+                workload.requests[skew_requests..].to_vec(),
+            ))
+            .expect("drive neutral phase");
+        while engine.rebalance_step().expect("step") {}
+        let report = engine.take_rebalance_report().expect("report");
+        assert_eq!(report.mode, RebalanceMode::Online);
+        assert!(report.batches > 1, "{variant}: not incremental");
+        assert!(
+            report.after.imbalance_ratio() < 1.25,
+            "{variant}: imbalance {} after online rebalance",
+            report.after.imbalance_ratio()
+        );
+
+        // Observational equivalence with the unsharded replay, after a
+        // rebalance raced an entire churn phase.
+        let stats = engine.quiesce().expect("quiesce");
+        assert_eq!(stats.errors(), 0, "{variant}: online migration errored");
+        let extents = engine.extents().expect("extents");
+        let mut seen = BTreeMap::new();
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, extent) in list {
+                assert!(seen.insert(id, extent.len).is_none(), "{id} on two shards");
+                assert_eq!(engine.shard_of(id), shard, "{variant}: {id} misrouted");
+            }
+        }
+        assert_eq!(seen, reference, "{variant}: object set diverged");
+    }
+}
+
+/// The driver loop closed: an installed policy notices the skew at barrier
+/// observations, fires an online session on its own, and the fleet
+/// converges — no explicit rebalance call anywhere.
+#[test]
+fn auto_rebalance_policy_repairs_skew_without_explicit_calls() {
+    const SHARDS: usize = 4;
+    const EPS: f64 = 0.25;
+    const OBSERVE_EVERY: usize = 1_024;
+    let config = ChurnConfig {
+        dist: SizeDist::Uniform { lo: 1, hi: 64 },
+        target_volume: 6_000,
+        churn_ops: 6_000,
+        seed: 7,
+    };
+    let probe = TableRouter::new(SHARDS);
+    let workload = skewed_churn_release(&config, |id| probe.route(id) == 0, 3_000);
+
+    let mut engine = Engine::with_router(
+        EngineConfig::with_shards(SHARDS),
+        Box::new(TableRouter::new(SHARDS)),
+        |_| build("cost-oblivious", EPS),
+    );
+    engine.set_auto_rebalance(
+        RebalancePolicy::new(1.5, 2, 2),
+        RebalanceOptions::default().batched(32),
+    );
+
+    let mut fired = 0u32;
+    let mut completed = 0u32;
+    for chunk in workload.requests.chunks(OBSERVE_EVERY) {
+        engine
+            .drive(&Workload::new("chunk", chunk.to_vec()))
+            .expect("drive");
+        let was_active = engine.rebalance_active();
+        engine.snapshot().expect("snapshot");
+        if !was_active && engine.rebalance_active() {
+            fired += 1;
+        }
+        if let Some(report) = engine.take_rebalance_report() {
+            assert_eq!(report.mode, RebalanceMode::Online);
+            assert!(report.migrated_objects > 0, "policy fired a no-op");
+            completed += 1;
+        }
+    }
+    while engine.rebalance_step().expect("step") {}
+    if engine.take_rebalance_report().is_some() {
+        completed += 1;
+    }
+    assert!(fired >= 1, "the policy never fired on a >2x skew");
+    assert_eq!(completed, fired, "every fired session must complete");
+
+    let stats = engine.quiesce().expect("quiesce");
+    assert!(
+        stats.imbalance_ratio() < 1.5,
+        "fleet still imbalanced ({}) after auto-rebalance",
+        stats.imbalance_ratio()
+    );
+    assert_eq!(stats.errors(), 0);
 }
 
 /// Resizing reuses the migration machinery without the assignment table:
