@@ -53,6 +53,16 @@ impl StorageOp {
     pub fn is_move(&self) -> bool {
         matches!(self, StorageOp::Move { .. })
     }
+
+    /// The extent this op writes, if it writes one (allocations and moves).
+    /// A substrate accounting physical bytes written sums the lengths of
+    /// exactly these extents.
+    pub fn written_extent(&self) -> Option<Extent> {
+        match self {
+            StorageOp::Allocate { to, .. } | StorageOp::Move { to, .. } => Some(*to),
+            StorageOp::Free { .. } | StorageOp::CheckpointBarrier => None,
+        }
+    }
 }
 
 /// Everything a reallocator reports about one completed request.

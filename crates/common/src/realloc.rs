@@ -12,6 +12,11 @@ pub enum ReallocError {
     UnknownId(ObjectId),
     /// Objects must have positive integral length.
     ZeroSize,
+    /// A cross-shard transfer's payload failed byte verification on
+    /// arrival (checksum mismatch or truncation), so the receiving shard
+    /// refused to adopt the object. Raised by a substrate-backed serving
+    /// layer, never by a reallocator itself.
+    CorruptTransfer(ObjectId),
 }
 
 impl std::fmt::Display for ReallocError {
@@ -20,6 +25,9 @@ impl std::fmt::Display for ReallocError {
             ReallocError::DuplicateId(id) => write!(f, "{id} is already active"),
             ReallocError::UnknownId(id) => write!(f, "{id} is not active"),
             ReallocError::ZeroSize => write!(f, "objects must have positive length"),
+            ReallocError::CorruptTransfer(id) => {
+                write!(f, "{id} arrived damaged and was refused")
+            }
         }
     }
 }

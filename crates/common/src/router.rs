@@ -283,6 +283,18 @@ mod tests {
         }
     }
 
+    /// The exact mapping is frozen: changing the hash silently re-homes
+    /// every stored object of every deployed engine, so lock a few values.
+    /// (Moved here from the deprecated `realloc_engine::route` shim.)
+    #[test]
+    fn shard_of_mapping_is_frozen() {
+        let snapshot: Vec<usize> = (0..16).map(|raw| shard_of(ObjectId(raw), 4)).collect();
+        assert_eq!(
+            snapshot,
+            vec![3, 2, 2, 0, 1, 1, 2, 1, 2, 2, 0, 1, 2, 3, 1, 2]
+        );
+    }
+
     #[test]
     fn sequential_ids_balance_under_both_hashes() {
         let shards = 8;

@@ -14,6 +14,7 @@ use crate::rebalance::{
 };
 use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
 use crate::stats::EngineStats;
+use crate::substrate::{SubstrateConfig, SubstrateReport, Transfer};
 
 /// Sizing knobs for an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,14 @@ pub struct EngineConfig {
     /// fixed cost. Aggregate stats (including the settled-space ratio) are
     /// maintained incrementally either way.
     pub record_ledger: bool,
+    /// Give every shard a byte-carrying storage substrate over its own
+    /// disjoint address window (see [`crate::substrate`]): each worker
+    /// replays its physical ops into a
+    /// [`DataStore`](storage_sim::DataStore), cross-shard migrations ship
+    /// and checksum real bytes, and barriers verify extents + bytes at the
+    /// configured cadence. `None` (the default) keeps the accounting-only
+    /// fast path.
+    pub substrate: Option<SubstrateConfig>,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +55,7 @@ impl Default for EngineConfig {
             batch: 256,
             queue_depth: 4,
             record_ledger: true,
+            substrate: None,
         }
     }
 }
@@ -68,10 +78,16 @@ impl EngineConfig {
         self.record_ledger = false;
         self
     }
+
+    /// This configuration with per-shard substrates enabled.
+    pub fn with_substrate(mut self, substrate: SubstrateConfig) -> Self {
+        self.substrate = Some(substrate);
+        self
+    }
 }
 
 /// Errors surfaced by the engine's handle API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A shard's reallocator rejected a request. Reported at the first
     /// barrier after it happened; `index` counts the shard's own stream.
@@ -100,6 +116,18 @@ pub enum EngineError {
     /// session is still draining. Step the active session to completion
     /// (serving traffic does so automatically) before planning a new one.
     RebalanceInProgress,
+    /// A shard's substrate failed: a physical write violated the storage
+    /// rules (overlap, freed-space reuse, a write escaping the shard's
+    /// address window), or a verification scan found extents diverging
+    /// from the reallocator or bytes failing their checksum. Sticky, like
+    /// request errors: it keeps surfacing at barriers — an integrity
+    /// violation does not heal.
+    Substrate {
+        /// The shard whose substrate failed.
+        shard: usize,
+        /// Human-readable description of the first failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -121,6 +149,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::RebalanceInProgress => {
                 write!(f, "an online rebalance session is already in progress")
+            }
+            EngineError::Substrate { shard, detail } => {
+                write!(f, "shard {shard} substrate failure: {detail}")
             }
         }
     }
@@ -260,6 +291,10 @@ pub struct Engine {
     finished: Option<RebalanceReport>,
     /// The auto-rebalance policy and the options its triggers use.
     auto: Option<(RebalancePolicy, RebalanceOptions)>,
+    /// Fault injection (testing): damage one byte of the next transfer
+    /// payload that passes through [`Engine::migrate`], after the source
+    /// acked it. See [`Engine::inject_transfer_corruption`].
+    corrupt_next_transfer: bool,
 }
 
 impl Engine {
@@ -306,6 +341,7 @@ impl Engine {
             session: None,
             finished: None,
             auto: None,
+            corrupt_next_transfer: false,
         };
         for shard in 0..config.shards {
             engine.spawn_shard(shard, factory(shard));
@@ -315,7 +351,8 @@ impl Engine {
 
     fn spawn_shard(&mut self, shard: usize, realloc: BoxedReallocator) {
         let (tx, rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
-        let worker = ShardWorker::new(shard, realloc, self.config.record_ledger);
+        let substrate = self.config.substrate.map(|s| s.build(shard));
+        let worker = ShardWorker::new(shard, realloc, substrate, self.config.record_ledger);
         let handle = std::thread::Builder::new()
             .name(format!("realloc-shard-{shard}"))
             .spawn(move || worker.run(rx))
@@ -443,8 +480,32 @@ impl Engine {
         Ok(())
     }
 
+    /// The substrate analogue of [`surface_first_error`]: integrity
+    /// failures rank below request errors only because both are sticky —
+    /// whichever exists keeps surfacing until shutdown.
+    ///
+    /// [`surface_first_error`]: Engine::surface_first_error
+    fn surface_substrate_error<'a>(
+        replies: impl Iterator<Item = (usize, &'a Option<String>)>,
+    ) -> Result<(), EngineError> {
+        for (shard, first) in replies {
+            if let Some(detail) = first {
+                return Err(EngineError::Substrate {
+                    shard,
+                    detail: detail.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn aggregate(replies: Vec<ShardReply>) -> Result<EngineStats, EngineError> {
         Self::surface_first_error(replies.iter().map(|r| (r.stats.shard, &r.first_error)))?;
+        Self::surface_substrate_error(
+            replies
+                .iter()
+                .map(|r| (r.stats.shard, &r.first_substrate_error)),
+        )?;
         Ok(EngineStats {
             per_shard: replies.into_iter().map(|r| r.stats).collect(),
         })
@@ -493,6 +554,51 @@ impl Engine {
     /// inside a quiescing structure are not listed.
     pub fn extents(&mut self) -> Result<Vec<Vec<(ObjectId, Extent)>>, EngineError> {
         self.barrier(Command::Extents)
+    }
+
+    /// Whether every shard runs a byte-carrying substrate
+    /// ([`EngineConfig::substrate`]).
+    pub fn substrate_enabled(&self) -> bool {
+        self.config.substrate.is_some()
+    }
+
+    /// Barrier: every shard runs its full substrate verification scan
+    /// *now*, regardless of the configured cadence — extents checked
+    /// against the reallocator, every live object's bytes re-checksummed.
+    /// Surfaces the first failure as [`EngineError::Substrate`]; with no
+    /// substrate configured, returns an empty report list.
+    pub fn verify_substrate(&mut self) -> Result<Vec<SubstrateReport>, EngineError> {
+        if !self.substrate_enabled() {
+            return Ok(Vec::new());
+        }
+        let reports: Vec<SubstrateReport> = self
+            .barrier(Command::VerifySubstrate)?
+            .into_iter()
+            .flatten()
+            .collect();
+        Self::surface_substrate_error(reports.iter().map(|r| (r.shard, &r.error)))?;
+        Ok(reports)
+    }
+
+    /// Barrier: every live object's physical bytes, per shard, sorted by
+    /// id, as read from the shard substrates. Empty inner lists without a
+    /// substrate. A test/debug aid — it copies `O(V)` bytes across the
+    /// channels; byte-level *checking* should go through
+    /// [`verify_substrate`](Engine::verify_substrate) instead.
+    pub fn substrate_contents(&mut self) -> Result<Vec<crate::ShardBytes>, EngineError> {
+        self.barrier(Command::DumpSubstrate)
+    }
+
+    /// Fault injection for integrity testing: damage one byte of the next
+    /// cross-shard transfer payload *after* its source acks it, so the
+    /// receiving shard's checksum verification must refuse the object and
+    /// the active migration (barrier or online session) must abort with
+    /// routing still matching physical ownership. One-shot: the armed
+    /// fault fires on the next migration batch that ships a payload and
+    /// disarms. No effect without a substrate (there is no payload to
+    /// damage).
+    pub fn inject_transfer_corruption(&mut self) {
+        self.corrupt_next_transfer = true;
     }
 
     /// Replays a whole workload: splits it into per-shard streams with
@@ -988,17 +1094,34 @@ impl Engine {
             self.send(shard, Command::MigrateOut { ids, reply: tx })?;
             waiting.push((shard, rx));
         }
-        let mut released: HashMap<ObjectId, u64> = HashMap::new();
+        let mut released: HashMap<ObjectId, Transfer> = HashMap::new();
         for (shard, rx) in waiting {
             let (reply, acks) = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
             outcome.note_error(shard, reply.first_error);
-            released.extend(acks);
+            released.extend(acks.into_iter().map(|t| (t.id, t)));
+        }
+        let released_sizes: HashMap<ObjectId, u64> =
+            released.values().map(|t| (t.id, t.size)).collect();
+
+        // Armed fault injection: damage one byte of one in-flight payload
+        // (lowest id, for determinism) after its source acked it — the
+        // receiving shard's checksum verification must refuse the object.
+        if self.corrupt_next_transfer {
+            if let Some(transfer) = released
+                .values_mut()
+                .filter(|t| t.payload.as_ref().is_some_and(|p| !p.bytes.is_empty()))
+                .min_by_key(|t| t.id)
+            {
+                let payload = transfer.payload.as_mut().expect("filtered above");
+                payload.bytes[0] ^= 0x01;
+                self.corrupt_next_transfer = false;
+            }
         }
 
-        let mut ins: Vec<Vec<(ObjectId, u64)>> = vec![Vec::new(); n];
+        let mut ins: Vec<Vec<Transfer>> = vec![Vec::new(); n];
         for m in plan {
-            if let Some(&size) = released.get(&m.id) {
-                ins[m.to].push((m.id, size));
+            if let Some(transfer) = released.remove(&m.id) {
+                ins[m.to].push(transfer);
             }
         }
         let mut waiting = Vec::new();
@@ -1019,8 +1142,8 @@ impl Engine {
 
         for m in plan {
             if adopted.contains(&m.id) {
-                outcome.completed.push((m.id, released[&m.id], m.to));
-            } else if !released.contains_key(&m.id) {
+                outcome.completed.push((m.id, released_sizes[&m.id], m.to));
+            } else if !released_sizes.contains_key(&m.id) {
                 outcome.stranded.push((m.id, m.from));
             }
         }
@@ -1044,6 +1167,11 @@ impl Engine {
         }
         finals.append(&mut self.retired);
         Self::surface_first_error(finals.iter().map(|f| (f.stats.shard, &f.first_error)))?;
+        Self::surface_substrate_error(
+            finals
+                .iter()
+                .map(|f| (f.stats.shard, &f.first_substrate_error)),
+        )?;
         Ok(finals)
     }
 }
@@ -1430,7 +1558,7 @@ mod tests {
         let extents = e.extents().unwrap();
         for (shard, list) in extents.iter().enumerate() {
             for &(id, _) in list {
-                assert_eq!(crate::route::shard_of(id, 4), shard);
+                assert_eq!(realloc_common::router::shard_of(id, 4), shard);
             }
         }
     }
@@ -1860,6 +1988,152 @@ mod tests {
             .unwrap();
         let finals = e.shutdown().unwrap();
         assert_eq!(finals.len(), 5);
+    }
+
+    /// A substrate-backed table-routed engine over the real §2 reallocator
+    /// (the substrate replays physical ops, so the toy `Bump` — which
+    /// reports no ops — cannot back one).
+    fn substrate_engine(shards: usize, substrate: crate::SubstrateConfig) -> Engine {
+        Engine::with_router(
+            EngineConfig::with_shards(shards).with_substrate(substrate),
+            Box::new(TableRouter::new(shards)),
+            |_| Box::new(realloc_core::CostObliviousReallocator::new(0.25)),
+        )
+    }
+
+    #[test]
+    fn substrate_backed_engine_serves_verifies_and_counts_bytes() {
+        let mut e = substrate_engine(3, crate::SubstrateConfig::default());
+        assert!(e.substrate_enabled());
+        for i in 0..200u64 {
+            e.insert(ObjectId(i), 1 + i % 16).unwrap();
+        }
+        for i in 0..100u64 {
+            e.delete(ObjectId(i)).unwrap();
+        }
+        let stats = e.quiesce().unwrap();
+        assert_eq!(stats.errors(), 0);
+        // Every allocation physically wrote its cells (flush copies add
+        // more on top).
+        let inserted: u64 = (0..200).map(|i| 1 + i % 16).sum();
+        assert!(
+            stats.bytes_written() >= inserted,
+            "{} cells written < {} inserted",
+            stats.bytes_written(),
+            inserted
+        );
+        // The quiesce cadence ran one scan per shard at the barrier.
+        assert!(stats.substrate_verifications() >= 3);
+
+        let reports = e.verify_substrate().unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.error.is_none());
+            // Disjoint windows, in shard order.
+            assert_eq!(r.window.base, r.shard as u64 * r.window.span);
+        }
+        assert_eq!(
+            reports.iter().map(|r| r.bytes).sum::<u64>(),
+            stats.live_volume()
+        );
+
+        // The dump exposes each live object's pattern bytes.
+        let contents = e.substrate_contents().unwrap();
+        let mut seen = 0;
+        for list in &contents {
+            for (id, bytes) in list {
+                assert_eq!(
+                    bytes,
+                    &storage_sim::pattern_for(*id, bytes.len() as u64),
+                    "{id} holds foreign bytes"
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, stats.live_count());
+        e.shutdown().unwrap();
+    }
+
+    #[test]
+    fn substrate_rebalance_ships_real_bytes_across_windows() {
+        let mut e = substrate_engine(4, crate::SubstrateConfig::default());
+        skew_toward_shard_zero(&mut e, 400);
+        let report = e.rebalance(RebalanceOptions::default()).unwrap();
+        assert!(report.migrated_objects > 0);
+        let stats = e.quiesce().unwrap();
+        // Physical bytes copied across address spaces == ledgered migrate
+        // volume, on both ends of the transfer.
+        assert_eq!(stats.bytes_migrated_out(), report.migrated_volume);
+        assert_eq!(stats.bytes_migrated_in(), report.migrated_volume);
+        // Migrated objects' bytes survived the hop (quiesce verification
+        // already checksummed them; the dump double-checks the pattern).
+        for list in &e.substrate_contents().unwrap() {
+            for (id, bytes) in list {
+                assert_eq!(bytes, &storage_sim::pattern_for(*id, bytes.len() as u64));
+            }
+        }
+        e.shutdown().unwrap();
+    }
+
+    #[test]
+    fn corrupted_transfer_fails_ack_and_aborts_with_routing_consistent() {
+        let mut e = substrate_engine(2, crate::SubstrateConfig::default());
+        skew_toward_shard_zero(&mut e, 80);
+        let before = e.quiesce().unwrap();
+
+        e.inject_transfer_corruption();
+        let err = e.rebalance(RebalanceOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::Request {
+                    error: ReallocError::CorruptTransfer(_),
+                    ..
+                }
+            ),
+            "expected a refused transfer, got {err:?}"
+        );
+
+        // Exactly the damaged object is lost; every survivor routes to the
+        // shard that physically owns it, and its bytes still verify.
+        let extents = e.extents().unwrap();
+        let mut survivors = 0;
+        for (shard, list) in extents.iter().enumerate() {
+            for &(id, _) in list {
+                assert_eq!(e.shard_of(id), shard, "{id} routed to a stale shard");
+                survivors += 1;
+            }
+        }
+        assert_eq!(survivors, before.live_count() - 1);
+        for r in e.verify_substrate().unwrap() {
+            assert!(r.error.is_none(), "substrate damaged: {:?}", r.error);
+        }
+        // The sticky request error keeps surfacing, like any rejection.
+        assert!(matches!(
+            e.quiesce().unwrap_err(),
+            EngineError::Request {
+                error: ReallocError::CorruptTransfer(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn substrate_defrag_pass_performs_the_schedule_on_real_bytes() {
+        let mut e = substrate_engine(2, crate::SubstrateConfig::default());
+        skew_toward_shard_zero(&mut e, 80);
+        let report = e.rebalance(RebalanceOptions::with_defrag(0.5)).unwrap();
+        assert_eq!(report.defrag.len(), 2);
+        for d in &report.defrag {
+            assert!(d.error.is_none());
+            assert_eq!(
+                d.substrate_ok,
+                Some(true),
+                "shard {}: schedule replay failed",
+                d.shard
+            );
+        }
+        e.shutdown().unwrap();
     }
 
     #[test]

@@ -108,16 +108,24 @@
 
 pub mod engine;
 pub mod rebalance;
+#[deprecated(
+    since = "0.1.0",
+    note = "a re-export shim since the routing layer moved to \
+            `realloc_common::router`; use that module (or the crate-root \
+            re-exports) instead — see ARCHITECTURE.md for the removal plan"
+)]
 pub mod route;
 pub mod shard;
 pub mod stats;
+pub mod substrate;
 
 pub use engine::{Engine, EngineConfig, EngineError};
-pub use realloc_common::router::{self, HashRouter, Router, TableRouter};
+pub use realloc_common::router::{self, shard_of, HashRouter, Router, TableRouter};
 pub use rebalance::{
     DefragSummary, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy, RebalanceReport,
     ResizeReport,
 };
-pub use route::shard_of;
 pub use shard::ShardFinal;
 pub use stats::{EngineStats, ShardStats};
+pub use storage_sim::{AddressWindow, Mode as SubstrateRules};
+pub use substrate::{ShardBytes, SubstrateConfig, SubstrateReport, VerifyCadence};

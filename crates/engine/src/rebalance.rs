@@ -233,6 +233,11 @@ pub struct DefragSummary {
     pub budget: u64,
     /// Whether the theorem's `(1+ε)V + ∆` space bound held.
     pub within_budget: bool,
+    /// Whether the schedule's copies, *performed* on the shard's real
+    /// substrate bytes (in a sandbox), landed every object byte-intact at
+    /// its promised placement. `None` when the shard has no substrate —
+    /// the schedule was only computed, not executed.
+    pub substrate_ok: Option<bool>,
     /// Planning error, if the pass could not run (a healthy quiesced shard
     /// never produces one).
     pub error: Option<String>,

@@ -1,71 +1,15 @@
-//! Deterministic object-id → shard routing (re-exported).
+//! Deterministic object-id → shard routing — **deprecated re-export shim**.
 //!
 //! The hash itself moved to [`realloc_common::router`] when routing became
 //! a pluggable layer — the workload splitter and the router implementations
-//! both need it without depending on this crate. This module remains so
-//! `realloc_engine::route::shard_of` (and the crate-root re-export) keep
-//! working; see [`crate::router`] for the full routing layer.
+//! both need it without depending on this crate. This module only remains
+//! so `realloc_engine::route::shard_of` keeps resolving for one deprecation
+//! cycle; the crate root now re-exports [`shard_of`] straight from
+//! `realloc_common`, and no code inside the workspace goes through this
+//! path anymore; its frozen-mapping lock tests already moved to
+//! `realloc-common` beside the hash they lock. Removal plan (also recorded
+//! in `ARCHITECTURE.md`): the module is deleted in the PR after next.
+//!
+//! [`shard_of`]: realloc_common::router::shard_of
 
 pub use realloc_common::router::shard_of;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use realloc_common::ObjectId;
-
-    #[test]
-    fn routes_are_stable_across_calls() {
-        for raw in [0u64, 1, 7, u64::MAX] {
-            assert_eq!(shard_of(ObjectId(raw), 8), shard_of(ObjectId(raw), 8));
-        }
-    }
-
-    #[test]
-    fn one_shard_takes_everything() {
-        for raw in 0..100 {
-            assert_eq!(shard_of(ObjectId(raw), 1), 0);
-        }
-    }
-
-    #[test]
-    fn sequential_ids_balance_across_shards() {
-        let shards = 8;
-        let mut counts = vec![0usize; shards];
-        for raw in 0..8_000u64 {
-            counts[shard_of(ObjectId(raw), shards)] += 1;
-        }
-        for (s, &c) in counts.iter().enumerate() {
-            assert!(
-                (800..1_200).contains(&c),
-                "shard {s} got {c} of 8000 ids (expected ~1000)"
-            );
-        }
-    }
-
-    #[test]
-    fn results_always_in_range() {
-        for shards in 1..=9 {
-            for raw in (0..1_000).chain([u64::MAX - 1, u64::MAX]) {
-                assert!(shard_of(ObjectId(raw), shards) < shards);
-            }
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_shards_rejected() {
-        shard_of(ObjectId(1), 0);
-    }
-
-    /// The exact mapping is frozen: changing the hash silently re-homes
-    /// every stored object of every deployed engine, so lock a few values.
-    #[test]
-    fn mapping_is_frozen() {
-        assert_eq!(shard_of(ObjectId(0), 4), shard_of(ObjectId(0), 4));
-        let snapshot: Vec<usize> = (0..16).map(|raw| shard_of(ObjectId(raw), 4)).collect();
-        assert_eq!(
-            snapshot,
-            vec![3, 2, 2, 0, 1, 1, 2, 1, 2, 2, 0, 1, 2, 3, 1, 2]
-        );
-    }
-}

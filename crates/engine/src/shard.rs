@@ -22,12 +22,13 @@ use std::collections::HashSet;
 use std::sync::mpsc::{Receiver, Sender};
 
 use realloc_common::{
-    Extent, Ledger, ObjectId, OpKind, OpRecord, Outcome, ReallocError, Reallocator,
+    Extent, Ledger, ObjectId, OpKind, OpRecord, Outcome, ReallocError, Reallocator, StorageOp,
 };
 use workload_gen::Request;
 
 use crate::rebalance::DefragSummary;
 use crate::stats::ShardStats;
+use crate::substrate::{ShardSubstrate, SubstrateReport, Transfer, TransferPayload};
 
 /// The first request a shard's reallocator rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,11 +41,15 @@ pub struct ShardError {
     pub error: ReallocError,
 }
 
-/// Barrier reply: a stats snapshot plus any remembered error.
+/// Barrier reply: a stats snapshot plus any remembered errors.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardReply {
     pub stats: ShardStats,
     pub first_error: Option<ShardError>,
+    /// First substrate rule/verification failure (sticky, like
+    /// `first_error`): a write that violated the store's rules, or a
+    /// cadence-triggered scan that found a divergence or damaged bytes.
+    pub first_substrate_error: Option<String>,
 }
 
 /// Everything a shard hands back when the engine shuts it down.
@@ -59,6 +64,9 @@ pub struct ShardFinal {
     pub ledger: Ledger,
     /// First rejected request, if any.
     pub first_error: Option<ShardError>,
+    /// First substrate rule/verification failure, if any (always `None`
+    /// without a substrate; the final scan runs at every cadence).
+    pub first_substrate_error: Option<String>,
 }
 
 /// What the engine sends down a shard's channel.
@@ -86,15 +94,21 @@ pub(crate) enum Command {
     MigrateOut {
         /// Objects leaving this shard.
         ids: Vec<ObjectId>,
-        /// Barrier reply: shard state plus the released `(id, size)` pairs.
-        reply: Sender<(ShardReply, Vec<(ObjectId, u64)>)>,
+        /// Barrier reply: shard state plus the released transfers (each an
+        /// `(id, size)` ack, carrying the object's physical bytes and their
+        /// checksum when this shard is substrate-backed).
+        reply: Sender<(ShardReply, Vec<Transfer>)>,
     },
     /// Rebalance protocol, inbound half: insert `objects` (ledgered as
     /// `MigrateIn`; the transfer itself is priced as a reallocation), then
-    /// reply with the ids actually adopted.
+    /// reply with the ids actually adopted. A substrate-backed shard
+    /// verifies each transfer's bytes against its shipped checksum *before*
+    /// inserting; a damaged payload is refused
+    /// ([`ReallocError::CorruptTransfer`]) so the ack fails and the engine's
+    /// abort-after-pin machinery keeps routing consistent.
     MigrateIn {
-        /// `(id, size)` of each arriving object.
-        objects: Vec<(ObjectId, u64)>,
+        /// The arriving objects.
+        objects: Vec<Transfer>,
         /// Barrier reply: shard state plus the adopted ids.
         reply: Sender<(ShardReply, Vec<ObjectId>)>,
     },
@@ -107,6 +121,14 @@ pub(crate) enum Command {
         /// Summary reply.
         reply: Sender<DefragSummary>,
     },
+    /// Run the full substrate verification scan now, regardless of the
+    /// configured cadence, and reply with the summary (`None` when this
+    /// shard has no substrate).
+    VerifySubstrate(Sender<Option<SubstrateReport>>),
+    /// Reply with every live object's physical bytes from the substrate,
+    /// sorted by id (shards without a substrate reply with an empty list).
+    /// A debugging/testing barrier — `O(V)`.
+    DumpSubstrate(Sender<crate::ShardBytes>),
     /// Final barrier: reply with stats + ledger and exit the thread.
     Finish(Sender<ShardFinal>),
 }
@@ -115,6 +137,11 @@ pub(crate) enum Command {
 pub(crate) struct ShardWorker {
     shard: usize,
     realloc: Box<dyn Reallocator + Send>,
+    /// The optional byte-carrying substrate this shard replays into (see
+    /// [`crate::substrate`]); `None` keeps the accounting-only fast path.
+    substrate: Option<ShardSubstrate>,
+    /// First substrate failure, sticky like `first_error`.
+    first_substrate_error: Option<String>,
     record_ledger: bool,
     ledger: Ledger,
     /// Ids this shard believes live, by request history. The `Reallocator`
@@ -142,11 +169,14 @@ impl ShardWorker {
     pub(crate) fn new(
         shard: usize,
         realloc: Box<dyn Reallocator + Send>,
+        substrate: Option<ShardSubstrate>,
         record_ledger: bool,
     ) -> Self {
         ShardWorker {
             shard,
             realloc,
+            substrate,
+            first_substrate_error: None,
             record_ledger,
             ledger: Ledger::new(),
             live: HashSet::new(),
@@ -176,13 +206,22 @@ impl ShardWorker {
                     for req in reqs {
                         self.serve(req);
                     }
+                    if self
+                        .substrate
+                        .as_ref()
+                        .is_some_and(|s| s.cadence().at_batches())
+                    {
+                        self.verify_substrate();
+                    }
                 }
                 Command::Quiesce(reply) => {
                     let outcome = self.realloc.quiesce();
-                    self.note_moves(&outcome);
+                    self.absorb(&outcome);
+                    self.verify_substrate_at_barrier();
                     let _ = reply.send(self.reply());
                 }
                 Command::Snapshot(reply) => {
+                    self.verify_substrate_at_barrier();
                     let _ = reply.send(self.reply());
                 }
                 Command::Extents(reply) => {
@@ -196,21 +235,22 @@ impl ShardWorker {
                             // drawn (online mode only) — nothing to re-home.
                             continue;
                         }
-                        if let Some(size) = self.migrate_out(id) {
-                            released.push((id, size));
+                        if let Some(transfer) = self.migrate_out(id) {
+                            released.push(transfer);
                         }
                     }
                     // Drain deferred deletes (the deamortized structure logs
                     // them) so the objects are fully gone before the engine
                     // re-inserts them on their target shards.
                     let outcome = self.realloc.quiesce();
-                    self.note_moves(&outcome);
+                    self.absorb(&outcome);
                     let _ = reply.send((self.reply(), released));
                 }
                 Command::MigrateIn { objects, reply } => {
                     let mut adopted = Vec::with_capacity(objects.len());
-                    for (id, size) in objects {
-                        if self.migrate_in(id, size) {
+                    for transfer in objects {
+                        let id = transfer.id;
+                        if self.migrate_in(transfer) {
                             adopted.push(id);
                         }
                     }
@@ -219,14 +259,114 @@ impl ShardWorker {
                 Command::Defrag { eps, reply } => {
                     let _ = reply.send(self.defrag(eps));
                 }
+                Command::VerifySubstrate(reply) => {
+                    let _ = reply.send(self.substrate_report());
+                }
+                Command::DumpSubstrate(reply) => {
+                    let dump = self
+                        .substrate
+                        .as_ref()
+                        .map(|s| s.contents())
+                        .unwrap_or_default();
+                    let _ = reply.send(dump);
+                }
                 Command::Finish(reply) => {
+                    // The final scan runs at every cadence (including
+                    // `Final`, whose whole point it is).
+                    if self.substrate.is_some() {
+                        self.verify_substrate();
+                    }
                     let _ = reply.send(ShardFinal {
                         stats: self.snapshot(),
                         ledger: self.ledger,
                         first_error: self.first_error,
+                        first_substrate_error: self.first_substrate_error,
                     });
                     return;
                 }
+            }
+        }
+    }
+
+    /// Runs the full substrate scan if the cadence includes barriers.
+    fn verify_substrate_at_barrier(&mut self) {
+        if self
+            .substrate
+            .as_ref()
+            .is_some_and(|s| s.cadence().at_barriers())
+        {
+            self.verify_substrate();
+        }
+    }
+
+    /// Runs the full substrate scan, remembering the first failure.
+    fn verify_substrate(&mut self) {
+        let Some(substrate) = self.substrate.as_mut() else {
+            return;
+        };
+        let realloc = &*self.realloc;
+        if let Err(e) = substrate.verify(|id| realloc.extent_of(id), realloc.live_count()) {
+            self.first_substrate_error.get_or_insert(e.to_string());
+        }
+    }
+
+    /// The explicit-verification barrier's summary (always scans).
+    fn substrate_report(&mut self) -> Option<SubstrateReport> {
+        let window = self.substrate.as_ref()?.window();
+        self.verify_substrate();
+        Some(SubstrateReport {
+            shard: self.shard,
+            window,
+            objects: self.realloc.live_count(),
+            bytes: self.realloc.live_volume(),
+            error: self.first_substrate_error.clone(),
+        })
+    }
+
+    /// Counts an outcome's moves *and* replays its physical ops into the
+    /// substrate (when one is configured). Every serving-path outcome goes
+    /// through here; the one exception is a migrate-in, whose arrival
+    /// `Allocate` must write the transferred bytes rather than a fresh
+    /// pattern (see [`ShardWorker::migrate_in`]).
+    fn absorb(&mut self, outcome: &Outcome) {
+        self.note_moves(outcome);
+        self.replay_ops(&outcome.ops);
+    }
+
+    /// Replays physical ops into the substrate, remembering the first
+    /// violation.
+    fn replay_ops(&mut self, ops: &[StorageOp]) {
+        let Some(substrate) = self.substrate.as_mut() else {
+            return;
+        };
+        if let Err(e) = substrate.apply_ops(ops) {
+            self.first_substrate_error.get_or_insert(e.to_string());
+        }
+    }
+
+    /// Replays a migrate-in outcome: the arriving object's `Allocate`
+    /// adopts the transferred payload (bytes re-checksummed by the store);
+    /// every other op — e.g. moves from a flush the insert triggered —
+    /// applies normally.
+    fn replay_arrival(
+        &mut self,
+        ops: &[StorageOp],
+        arriving: ObjectId,
+        payload: Option<&TransferPayload>,
+    ) {
+        let Some(substrate) = self.substrate.as_mut() else {
+            return;
+        };
+        for op in ops {
+            let result = match (op, payload) {
+                (StorageOp::Allocate { id, to }, Some(p)) if *id == arriving => {
+                    substrate.adopt(arriving, *to, p)
+                }
+                _ => substrate.apply_ops(std::slice::from_ref(op)),
+            };
+            if let Err(e) = result {
+                self.first_substrate_error.get_or_insert(e.to_string());
+                return;
             }
         }
     }
@@ -275,7 +415,7 @@ impl ShardWorker {
                         self.live.remove(&id);
                     }
                 }
-                self.note_moves(&outcome);
+                self.absorb(&outcome);
                 let structure = self.observe_space();
                 if self.record_ledger {
                     self.ledger.record(
@@ -299,15 +439,25 @@ impl ShardWorker {
     /// The outbound half of one cross-shard transfer: a delete that is
     /// ledgered as `MigrateOut` (the object lives on elsewhere) and counted
     /// in the migration telemetry, not in `requests`. Returns the released
-    /// object's size, or `None` if the reallocator refused to let go.
-    fn migrate_out(&mut self, id: ObjectId) -> Option<u64> {
+    /// transfer — carrying the object's physical bytes and checksum when
+    /// this shard is substrate-backed — or `None` if the reallocator
+    /// refused to let go.
+    fn migrate_out(&mut self, id: ObjectId) -> Option<Transfer> {
         let size = self.realloc.extent_of(id).map_or(0, |e| e.len);
+        // Read the departing bytes *before* the delete frees the extent.
+        let payload = self.substrate.as_mut().and_then(|s| s.release(id));
         match self.realloc.delete(id) {
             Ok(outcome) => {
                 self.live.remove(&id);
-                self.note_moves(&outcome);
+                self.absorb(&outcome);
                 self.migrations_out += 1;
                 self.migrated_volume_out += size;
+                // Count the physical copy-out only now that the object has
+                // actually left — a refused delete must not inflate the
+                // ledger-vs-bytes accounting.
+                if let (Some(substrate), Some(p)) = (self.substrate.as_mut(), payload.as_ref()) {
+                    substrate.note_released(p);
+                }
                 let structure = self.observe_space();
                 if self.record_ledger {
                     self.ledger.push(OpRecord {
@@ -322,7 +472,7 @@ impl ShardWorker {
                         delta_after: self.realloc.max_object_size(),
                     });
                 }
-                Some(size)
+                Some(Transfer { id, size, payload })
             }
             Err(error) => {
                 self.note_migration_error(error);
@@ -335,11 +485,26 @@ impl ShardWorker {
     /// itself is a *reallocation* of the object (it was allocated once, on
     /// its original shard), so its size joins `moved_sizes` and the shard's
     /// move telemetry — cost functions price it like any other move.
-    /// Returns whether the reallocator adopted the object.
-    fn migrate_in(&mut self, id: ObjectId, size: u64) -> bool {
+    ///
+    /// A substrate-backed shard first proves the shipped bytes match their
+    /// checksum; a damaged payload is refused *before* touching the
+    /// reallocator ([`ReallocError::CorruptTransfer`]), so the failed ack
+    /// reaches the engine with this shard's serving structure clean. On
+    /// success the arrival `Allocate` writes the transferred bytes — not a
+    /// fresh pattern — so the migration is byte-faithful end to end.
+    /// Returns whether the object was adopted.
+    fn migrate_in(&mut self, transfer: Transfer) -> bool {
+        let Transfer { id, size, payload } = transfer;
+        if let (Some(_), Some(payload)) = (self.substrate.as_ref(), payload.as_ref()) {
+            if !ShardSubstrate::payload_intact(payload, size) {
+                self.note_migration_error(ReallocError::CorruptTransfer(id));
+                return false;
+            }
+        }
         match self.realloc.insert(id, size) {
             Ok(outcome) => {
                 self.live.insert(id);
+                self.replay_arrival(&outcome.ops, id, payload.as_ref());
                 self.note_moves(&outcome);
                 self.moves += 1;
                 self.moved_volume += size;
@@ -371,7 +536,11 @@ impl ShardWorker {
     }
 
     /// Computes (and ledgers) the Theorem 2.7 compaction schedule over this
-    /// shard's live objects, sorted by id.
+    /// shard's live objects, sorted by id. A substrate-backed shard also
+    /// *performs* the scheduled copies on real bytes — in a sandbox seeded
+    /// from its store, so the serving structure stays as Theorem 2.1
+    /// maintains it — and reports whether every object landed byte-intact
+    /// at its promised placement ([`DefragSummary::substrate_ok`]).
     fn defrag(&mut self, eps: f64) -> DefragSummary {
         let extents = self.live_extents();
         let delta = self.realloc.max_object_size();
@@ -379,6 +548,14 @@ impl ShardWorker {
             Ok(report) => {
                 self.defrag_runs += 1;
                 self.defrag_moves += report.total_moves as u64;
+                let substrate_ok = self
+                    .substrate
+                    .as_ref()
+                    .map(|s| s.validate_schedule(&extents, &report.ops, &report.sorted));
+                if let Some(Err(e)) = &substrate_ok {
+                    self.first_substrate_error
+                        .get_or_insert(format!("defrag schedule: {e}"));
+                }
                 let structure = self.realloc.structure_size();
                 if self.record_ledger {
                     self.ledger.push(OpRecord {
@@ -408,6 +585,7 @@ impl ShardWorker {
                     budget: report.budget,
                     within_budget: report.peak_space <= report.budget + delta
                         && !report.prefix_suffix_collision,
+                    substrate_ok: substrate_ok.map(|r| r.is_ok()),
                     error: None,
                 }
             }
@@ -418,6 +596,7 @@ impl ShardWorker {
                 peak_space: 0,
                 budget: 0,
                 within_budget: false,
+                substrate_ok: None,
                 error: Some(e.to_string()),
             },
         }
@@ -467,6 +646,10 @@ impl ShardWorker {
             migrated_volume_out: self.migrated_volume_out,
             defrag_runs: self.defrag_runs,
             defrag_moves: self.defrag_moves,
+            substrate_bytes_written: self.substrate.as_ref().map_or(0, |s| s.bytes_written),
+            substrate_bytes_in: self.substrate.as_ref().map_or(0, |s| s.bytes_migrated_in),
+            substrate_bytes_out: self.substrate.as_ref().map_or(0, |s| s.bytes_migrated_out),
+            substrate_verifications: self.substrate.as_ref().map_or(0, |s| s.verifications),
             max_settled_ratio: self.max_settled_ratio,
         }
     }
@@ -475,6 +658,7 @@ impl ShardWorker {
         ShardReply {
             stats: self.snapshot(),
             first_error: self.first_error,
+            first_substrate_error: self.first_substrate_error.clone(),
         }
     }
 }

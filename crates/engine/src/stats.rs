@@ -49,6 +49,15 @@ pub struct ShardStats {
     pub defrag_runs: u64,
     /// Moves across those defrag schedules.
     pub defrag_moves: u64,
+    /// Cells physically written into this shard's substrate (allocations,
+    /// flush copies, and adopted transfers). Zero without a substrate.
+    pub substrate_bytes_written: u64,
+    /// Cells that arrived via verified cross-shard transfers.
+    pub substrate_bytes_in: u64,
+    /// Cells shipped out to other shards' address spaces.
+    pub substrate_bytes_out: u64,
+    /// Full extent + byte verification scans this shard has run.
+    pub substrate_verifications: u64,
     /// Max over requests of `structure_after / volume_after` (the ledger's
     /// settled-space competitive ratio for this shard).
     pub max_settled_ratio: f64,
@@ -193,6 +202,38 @@ impl EngineStats {
         self.per_shard.iter().map(|s| s.defrag_moves).sum()
     }
 
+    /// Total cells physically written across all shard substrates
+    /// (allocations + flush copies + adopted transfers). Zero when the
+    /// engine runs without substrates.
+    pub fn bytes_written(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.substrate_bytes_written)
+            .sum()
+    }
+
+    /// Total cells that crossed shard address spaces, counted on arrival
+    /// (each verified against its shipped checksum). Equals the ledger's
+    /// migrate-in volume when every transfer landed.
+    pub fn bytes_migrated_in(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.substrate_bytes_in).sum()
+    }
+
+    /// Total cells read out of shard substrates for cross-shard transfers.
+    /// Equals the ledger's migrate-out volume: every released object's
+    /// bytes were physically copied out of its source address space.
+    pub fn bytes_migrated_out(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.substrate_bytes_out).sum()
+    }
+
+    /// Total full verification scans run across shards.
+    pub fn substrate_verifications(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.substrate_verifications)
+            .sum()
+    }
+
     /// The worst per-shard settled-space ratio — the aggregate's effective
     /// footprint competitive ratio, since `Σ structure_i ≤ (max_i a_i)·Σ V_i`.
     pub fn worst_settled_ratio(&self) -> f64 {
@@ -238,6 +279,10 @@ mod tests {
             migrated_volume_out: 0,
             defrag_runs: 0,
             defrag_moves: 0,
+            substrate_bytes_written: 0,
+            substrate_bytes_in: 0,
+            substrate_bytes_out: 0,
+            substrate_verifications: 0,
             max_settled_ratio: structure as f64 / volume as f64,
         }
     }
@@ -300,9 +345,15 @@ mod tests {
         a.migrations_in = 3;
         a.migrated_volume_in = 30;
         a.defrag_moves = 7;
+        a.substrate_bytes_written = 130;
+        a.substrate_bytes_in = 30;
+        a.substrate_verifications = 2;
         let mut b = shard(1, 50, 60, 64);
         b.migrations_out = 3;
         b.migrated_volume_out = 30;
+        b.substrate_bytes_written = 50;
+        b.substrate_bytes_out = 30;
+        b.substrate_verifications = 2;
         let stats = EngineStats {
             per_shard: vec![a, b],
         };
@@ -311,5 +362,9 @@ mod tests {
         assert_eq!(stats.migrations_out(), 3);
         assert_eq!(stats.migrated_volume_out(), 30);
         assert_eq!(stats.defrag_moves(), 7);
+        assert_eq!(stats.bytes_written(), 180);
+        assert_eq!(stats.bytes_migrated_in(), 30);
+        assert_eq!(stats.bytes_migrated_out(), 30);
+        assert_eq!(stats.substrate_verifications(), 4);
     }
 }

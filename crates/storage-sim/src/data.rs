@@ -15,16 +15,33 @@ use std::collections::HashMap;
 
 use realloc_common::{Extent, ObjectId, StorageOp};
 
-use crate::store::{Mode, SimStore, Violation};
+use crate::store::{AddressWindow, Mode, SimStore, Violation};
 
-/// FNV-1a over a byte slice.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte slice — the workspace's object-content checksum.
+///
+/// This is what [`DataStore`] registers at allocation, what
+/// [`DataStore::verify_object`] recomputes, and what a cross-shard transfer
+/// ships alongside its payload so the receiver can prove the bytes arrived
+/// intact (see [`DataStore::adopt`]).
+pub fn checksum(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf29ce484222325u64;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x100000001b3);
     }
     hash
+}
+
+/// The verification value for a cross-address-space transfer expected to
+/// be `expected_len` cells: the content [`checksum`] with the payload
+/// length folded against the expectation, so a truncated payload cannot
+/// pass by checksumming its own prefix. Equal to `checksum(bytes)` exactly
+/// when `bytes.len() == expected_len` — a sender therefore ships the plain
+/// checksum, and every receiver-side check ([`DataStore::adopt`], and any
+/// pre-insertion check a serving layer runs) goes through this one
+/// function so the two can never disagree.
+pub fn transfer_checksum(bytes: &[u8], expected_len: u64) -> u64 {
+    checksum(bytes) ^ (bytes.len() as u64 ^ expected_len)
 }
 
 /// Deterministic content for an object: a byte pattern derived from its id,
@@ -59,6 +76,35 @@ impl DataRecoveryReport {
 }
 
 /// A [`SimStore`] plus an actual byte array and per-object checksums.
+///
+/// # Example: a round-trip with checksum verification
+///
+/// Allocate an object, move it, and prove the bytes survived both hops:
+///
+/// ```
+/// use realloc_common::{Extent, ObjectId, StorageOp};
+/// use storage_sim::{checksum, pattern_for, DataStore, Mode};
+///
+/// let mut store = DataStore::new(Mode::Strict);
+/// let id = ObjectId(7);
+/// store.apply(&StorageOp::Allocate { id, to: Extent::new(0, 64) }).unwrap();
+///
+/// // The cells now hold the object's deterministic pattern bytes.
+/// let expected = checksum(&pattern_for(id, 64));
+/// assert_eq!(store.checksum_of(id), Some(expected));
+/// store.verify_object(id).unwrap();
+///
+/// // A (nonoverlapping) move physically copies the bytes; the checksum
+/// // still verifies at the new address.
+/// store.apply(&StorageOp::Move {
+///     id,
+///     from: Extent::new(0, 64),
+///     to: Extent::new(100, 64),
+/// }).unwrap();
+/// assert_eq!(store.bytes_of(id).map(checksum), Some(expected));
+/// store.verify_all().unwrap();
+/// ```
+#[derive(Debug, Clone)]
 pub struct DataStore {
     rules: SimStore,
     cells: Vec<u8>,
@@ -75,9 +121,40 @@ impl DataStore {
         }
     }
 
+    /// An empty byte-carrying store owning the address window `window`
+    /// (see [`SimStore::windowed`]): writes reaching `window.span` are
+    /// rejected, making per-shard stores provably disjoint slices of one
+    /// global device.
+    pub fn windowed(mode: Mode, window: AddressWindow) -> Self {
+        DataStore {
+            rules: SimStore::windowed(mode, window),
+            cells: Vec::new(),
+            checksums: HashMap::new(),
+        }
+    }
+
     /// The underlying rule-checking store.
     pub fn rules(&self) -> &SimStore {
         &self.rules
+    }
+
+    /// The address window this store owns, if it is windowed.
+    pub fn window(&self) -> Option<AddressWindow> {
+        self.rules.window()
+    }
+
+    /// The bytes of a live object at its current placement.
+    pub fn bytes_of(&self, id: ObjectId) -> Option<&[u8]> {
+        self.rules.extent_of(id).map(|e| self.read(e))
+    }
+
+    /// The checksum registered for a live object (what its bytes *should*
+    /// hash to; [`verify_object`](Self::verify_object) compares against the
+    /// cells).
+    pub fn checksum_of(&self, id: ObjectId) -> Option<u64> {
+        self.rules
+            .extent_of(id)
+            .and_then(|_| self.checksums.get(&id).copied())
     }
 
     fn ensure_capacity(&mut self, end: u64) {
@@ -103,7 +180,7 @@ impl DataStore {
         match *op {
             StorageOp::Allocate { id, to } => {
                 let bytes = pattern_for(id, to.len);
-                self.checksums.insert(id, fnv1a(&bytes));
+                self.checksums.insert(id, checksum(&bytes));
                 self.write(to, &bytes);
             }
             StorageOp::Move { from, to, .. } => {
@@ -125,6 +202,38 @@ impl DataStore {
         ops.iter().try_for_each(|op| self.apply(op))
     }
 
+    /// The receiving half of a cross-address-space transfer: place `id` at
+    /// `to` holding `bytes` shipped from another store, after proving they
+    /// arrived intact against the `expected` checksum the sender computed.
+    ///
+    /// A corrupted or truncated payload fails with
+    /// [`Violation::DamagedTransfer`] *before* anything is written — the
+    /// store is untouched, so the caller can refuse the transfer and leave
+    /// the object with its sender. On success the transferred bytes (not a
+    /// freshly generated pattern) are what lands in the cells, and
+    /// `expected` is what later verification checks against — the transfer
+    /// is byte-faithful end to end.
+    pub fn adopt(
+        &mut self,
+        id: ObjectId,
+        to: Extent,
+        bytes: &[u8],
+        expected: u64,
+    ) -> Result<(), Violation> {
+        let actual = transfer_checksum(bytes, to.len);
+        if actual != expected {
+            return Err(Violation::DamagedTransfer {
+                id,
+                expected,
+                actual,
+            });
+        }
+        self.rules.apply(&StorageOp::Allocate { id, to })?;
+        self.checksums.insert(id, expected);
+        self.write(to, bytes);
+        Ok(())
+    }
+
     /// Recomputes the checksum of a live object at its current location.
     pub fn verify_object(&self, id: ObjectId) -> Result<(), String> {
         let ext = self
@@ -135,7 +244,7 @@ impl DataStore {
             .checksums
             .get(&id)
             .ok_or_else(|| format!("{id} has no checksum"))?;
-        let actual = fnv1a(self.read(ext));
+        let actual = checksum(self.read(ext));
         if actual == *expected {
             Ok(())
         } else {
@@ -163,7 +272,7 @@ impl DataStore {
         let mut report = DataRecoveryReport::default();
         for (&id, &ext) in self.rules.durable_btl() {
             let intact = self.cells.len() >= ext.end() as usize
-                && self.checksums.get(&id) == Some(&fnv1a(self.read(ext)));
+                && self.checksums.get(&id) == Some(&checksum(self.read(ext)));
             if intact {
                 report.intact.push(id);
             } else {
@@ -292,6 +401,43 @@ mod tests {
             .unwrap();
         let report = store.crash_and_verify();
         assert_eq!(report.corrupted, vec![id(1)]);
+    }
+
+    #[test]
+    fn adopt_is_byte_faithful_and_rejects_damage() {
+        // Source store: object 1's pattern bytes at some address.
+        let mut source = DataStore::windowed(Mode::Relaxed, AddressWindow::for_shard(0, 1 << 16));
+        source
+            .apply(&StorageOp::Allocate {
+                id: id(1),
+                to: ext(40, 64),
+            })
+            .unwrap();
+        let payload = source.bytes_of(id(1)).unwrap().to_vec();
+        let sum = source.checksum_of(id(1)).unwrap();
+        assert_eq!(sum, checksum(&payload));
+
+        // Target store (a different window): adoption verifies and lands
+        // the *transferred* bytes.
+        let mut target = DataStore::windowed(Mode::Relaxed, AddressWindow::for_shard(1, 1 << 16));
+        target.adopt(id(1), ext(0, 64), &payload, sum).unwrap();
+        assert_eq!(target.bytes_of(id(1)), Some(&payload[..]));
+        target.verify_object(id(1)).unwrap();
+
+        // One flipped byte: refused before anything is written.
+        let mut damaged = payload.clone();
+        damaged[13] ^= 0x40;
+        let mut t2 = DataStore::new(Mode::Relaxed);
+        let err = t2.adopt(id(2), ext(0, 64), &damaged, sum).unwrap_err();
+        assert!(matches!(err, Violation::DamagedTransfer { .. }));
+        assert_eq!(t2.rules().live_count(), 0, "failed adoption wrote state");
+
+        // A truncated payload is damage too, even with its own checksum.
+        let truncated = &payload[..32];
+        let err = t2
+            .adopt(id(2), ext(0, 64), truncated, checksum(truncated))
+            .unwrap_err();
+        assert!(matches!(err, Violation::DamagedTransfer { .. }));
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! whichever of these rules the selected [`Mode`] demands, maintains the
 //! durable translation map, and can simulate a crash at any instant to
 //! verify that recovery from the last checkpoint finds every mapped object
-//! intact.
+//! intact. [`DataStore`] layers actual bytes (and per-object [`checksum`]s)
+//! on top, so corruption — not only rule violations — is detectable, and
+//! [`AddressWindow`]-bounded stores give a sharded engine provably disjoint
+//! per-shard slices of one global device, with
+//! [`DataStore::adopt`] verifying every cross-window transfer's bytes on
+//! arrival.
 //!
 //! [`StorageOp`]: realloc_common::StorageOp
 
@@ -25,6 +30,6 @@ pub mod data;
 pub mod device;
 pub mod store;
 
-pub use data::{DataRecoveryReport, DataStore};
+pub use data::{checksum, pattern_for, transfer_checksum, DataRecoveryReport, DataStore};
 pub use device::DeviceModel;
-pub use store::{Mode, RecoveryReport, SimStore, SpanState, Violation};
+pub use store::{AddressWindow, Mode, RecoveryReport, SimStore, SpanState, Violation};

@@ -5,6 +5,60 @@ use std::collections::{BTreeMap, HashMap};
 
 use realloc_common::{Extent, ObjectId, StorageOp};
 
+/// A shard's slice of a global device: the half-open cell range
+/// `[base, base + span)`.
+///
+/// A windowed store speaks *window-relative* addresses — the reallocator it
+/// replays knows nothing about the window — and enforces that no op writes
+/// at or past `span`. The `base` is what makes per-shard address spaces
+/// globally disjoint: shard *i*'s window-relative cell `a` is global cell
+/// `base + a`, so a cross-shard migration is a genuine cross-address-space
+/// copy even when both shards replay into their own store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressWindow {
+    /// First global cell owned by this window.
+    pub base: u64,
+    /// Cells in the window; window-relative addresses must stay below it.
+    pub span: u64,
+}
+
+impl AddressWindow {
+    /// The window `[base, base + span)`.
+    ///
+    /// # Panics
+    /// Panics if `span` is zero or `base + span` overflows.
+    pub fn new(base: u64, span: u64) -> Self {
+        assert!(span > 0, "an address window must span at least one cell");
+        assert!(
+            base.checked_add(span).is_some(),
+            "window [{base}, {base} + {span}) overflows the address space"
+        );
+        AddressWindow { base, span }
+    }
+
+    /// The `i`-th of a sequence of disjoint equal-span windows — the layout
+    /// a sharded engine uses (shard `i` owns `[i·span, (i+1)·span)`).
+    pub fn for_shard(shard: usize, span: u64) -> Self {
+        AddressWindow::new((shard as u64).saturating_mul(span), span)
+    }
+
+    /// Whether a window-relative extent fits inside the window.
+    pub fn admits(&self, extent: &Extent) -> bool {
+        extent.end() <= self.span
+    }
+
+    /// Translates a window-relative extent to global device addresses.
+    pub fn global(&self, extent: &Extent) -> Extent {
+        Extent::new(self.base + extent.offset, extent.len)
+    }
+}
+
+impl std::fmt::Display for AddressWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.base, self.base + self.span)
+    }
+}
+
 /// How strictly the substrate polices writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -83,6 +137,25 @@ pub enum Violation {
         /// The reused id.
         id: ObjectId,
     },
+    /// A write landed at or past the end of the store's address window.
+    OutOfWindow {
+        /// The writing object.
+        id: ObjectId,
+        /// The attempted (window-relative) write location.
+        target: Extent,
+        /// Cells the window spans.
+        span: u64,
+    },
+    /// An adopted transfer's bytes did not match the checksum they shipped
+    /// with — the payload was corrupted or truncated in flight.
+    DamagedTransfer {
+        /// The arriving object.
+        id: ObjectId,
+        /// Checksum the sender computed over the released bytes.
+        expected: u64,
+        /// Checksum of the bytes that actually arrived.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -102,6 +175,17 @@ impl std::fmt::Display for Violation {
                 write!(f, "{id}: source {claimed} but object is at {actual:?}")
             }
             Violation::DuplicateObject { id } => write!(f, "{id}: allocated twice"),
+            Violation::OutOfWindow { id, target, span } => {
+                write!(f, "{id}: write to {target} exceeds the {span}-cell window")
+            }
+            Violation::DamagedTransfer {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{id}: transfer arrived damaged (checksum {actual:#x} != {expected:#x})"
+            ),
         }
     }
 }
@@ -134,6 +218,9 @@ impl RecoveryReport {
 #[derive(Debug, Clone)]
 pub struct SimStore {
     mode: Mode,
+    /// When present, every write must stay below `window.span` (addresses
+    /// are window-relative; see [`AddressWindow`]).
+    window: Option<AddressWindow>,
     spans: BTreeMap<u64, Span>,
     live: HashMap<ObjectId, Extent>,
     /// The durable name -> extent map as of the last checkpoint.
@@ -145,10 +232,12 @@ pub struct SimStore {
 }
 
 impl SimStore {
-    /// An empty store enforcing the given mode's rules.
+    /// An empty store enforcing the given mode's rules over an unbounded
+    /// address space.
     pub fn new(mode: Mode) -> Self {
         SimStore {
             mode,
+            window: None,
             spans: BTreeMap::new(),
             live: HashMap::new(),
             durable_btl: HashMap::new(),
@@ -159,9 +248,24 @@ impl SimStore {
         }
     }
 
+    /// An empty store owning the address window `window`: op addresses are
+    /// window-relative, and any write reaching `window.span` or beyond is a
+    /// [`Violation::OutOfWindow`]. This is how a sharded engine gives each
+    /// shard a disjoint slice of one global device.
+    pub fn windowed(mode: Mode, window: AddressWindow) -> Self {
+        let mut store = SimStore::new(mode);
+        store.window = Some(window);
+        store
+    }
+
     /// The rule mode this store enforces.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The address window this store owns, if it is windowed.
+    pub fn window(&self) -> Option<AddressWindow> {
+        self.window
     }
 
     /// Current checkpoint epoch (starts at 0, bumped by each checkpoint).
@@ -217,6 +321,18 @@ impl SimStore {
         }
     }
 
+    /// Rejects writes escaping the address window, if one is set.
+    fn check_window(&self, id: ObjectId, target: &Extent) -> Result<(), Violation> {
+        match self.window {
+            Some(w) if !w.admits(target) => Err(Violation::OutOfWindow {
+                id,
+                target: *target,
+                span: w.span,
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Validates that `target` is writable for `id`; `ignore_self` lets a
     /// relaxed-mode move overlap its own (already removed) source.
     fn check_writable(&self, id: ObjectId, target: &Extent) -> Result<(), Violation> {
@@ -257,6 +373,7 @@ impl SimStore {
                 if self.live.contains_key(&id) {
                     return Err(Violation::DuplicateObject { id });
                 }
+                self.check_window(id, &to)?;
                 self.check_writable(id, &to)?;
                 self.insert_span(to, SpanState::Live(id));
                 self.live.insert(id, to);
@@ -271,6 +388,7 @@ impl SimStore {
                         actual,
                     });
                 }
+                self.check_window(id, &to)?;
                 if self.mode == Mode::Strict && from.overlaps(&to) {
                     return Err(Violation::OverlappingMove { id, from, to });
                 }
@@ -635,6 +753,53 @@ mod tests {
             .is_ok());
         assert!(s.verify_matches(|_| None).is_err());
         assert!(s.verify_matches(|_| Some(ext(1, 10))).is_err());
+    }
+
+    #[test]
+    fn windowed_store_rejects_escaping_writes() {
+        let w = AddressWindow::new(1_000, 100);
+        assert_eq!(w.global(&ext(5, 10)), ext(1_005, 10));
+        assert!(w.admits(&ext(90, 10)));
+        assert!(!w.admits(&ext(91, 10)));
+
+        let mut s = SimStore::windowed(Mode::Relaxed, w);
+        assert_eq!(s.window(), Some(w));
+        s.apply(&alloc(1, 0, 100)).unwrap();
+        s.apply(&StorageOp::Free {
+            id: id(1),
+            at: ext(0, 100),
+        })
+        .unwrap();
+        // Allocate past the span: rejected, state unchanged.
+        let err = s.apply(&alloc(2, 95, 10)).unwrap_err();
+        assert!(matches!(err, Violation::OutOfWindow { span: 100, .. }));
+        // A move escaping the window is rejected with the source restored.
+        s.apply(&alloc(3, 0, 10)).unwrap();
+        let err = s
+            .apply(&StorageOp::Move {
+                id: id(3),
+                from: ext(0, 10),
+                to: ext(95, 10),
+            })
+            .unwrap_err();
+        assert!(matches!(err, Violation::OutOfWindow { .. }));
+        assert_eq!(s.extent_of(id(3)), Some(ext(0, 10)));
+    }
+
+    #[test]
+    fn shard_windows_are_disjoint() {
+        let a = AddressWindow::for_shard(0, 1 << 20);
+        let b = AddressWindow::for_shard(1, 1 << 20);
+        assert_eq!(a.base + a.span, b.base);
+        // The same window-relative extent maps to disjoint global extents.
+        let local = ext(17, 64);
+        assert!(!a.global(&local).overlaps(&b.global(&local)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_span_window_rejected() {
+        AddressWindow::new(0, 0);
     }
 
     #[test]

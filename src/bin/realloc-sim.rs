@@ -46,10 +46,30 @@
 //!   --hysteresis <n>     observations ignored after a rebalance (default 2)
 //!   --resize <n>         resize to n shards at the workload's midpoint
 //!   --defrag             run the per-shard Thm 2.7 defrag with each rebalance
+//!   --substrate [rules]  back every shard with a byte-carrying store over its
+//!                        own disjoint address window: physical ops replayed,
+//!                        migrations ship checksummed bytes, extents + bytes
+//!                        verified. rules: relaxed (default; any variant) or
+//!                        strict (§3.1 database rules; checkpointed/deamortized
+//!                        only — §2 legitimately violates them)
+//!   --verify-cadence <c> when each shard runs its full O(V) extent + byte
+//!                        scan (per-write rule checks are always on):
+//!                          final   — once, before shutdown: cheapest, but a
+//!                                    divergence is only localized to "the run"
+//!                          quiesce — every quiesce/snapshot barrier (default):
+//!                                    one scan per shard per barrier, hidden in
+//!                                    the barrier's existing fleet-wide stall
+//!                          batch   — every served channel batch: one scan per
+//!                                    shard per ~256 requests — orders of
+//!                                    magnitude more scans, for debugging only
 //!   --eps / --trace / --churn / --seed   as above
 //!
 //! Every rebalance line printed by the engine run reports whether it ran in
-//! barrier or online mode.
+//! barrier or online mode. With --substrate, the stats table grows three
+//! physical-I/O columns (bytes w / bytes in / bytes out) and a substrate
+//! section prints each shard's window and byte-verification result; any
+//! rule violation or failed verification aborts the run with the shard and
+//! the violating write named.
 //! ```
 
 use std::process::ExitCode;
@@ -92,10 +112,12 @@ struct Args {
     hysteresis: usize,
     resize: Option<usize>,
     defrag: bool,
+    substrate: Option<Mode>,
+    cadence: Option<VerifyCadence>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    let mut argv = std::env::args().skip(1).peekable();
     let algorithm = argv.next().ok_or("missing <algorithm>")?;
     let mut args = Args {
         algorithm,
@@ -116,6 +138,8 @@ fn parse_args() -> Result<Args, String> {
         hysteresis: 2,
         resize: None,
         defrag: false,
+        substrate: None,
+        cadence: None,
     };
     let engine_mode = args.algorithm == "engine";
     let mut crash = false;
@@ -209,6 +233,28 @@ fn parse_args() -> Result<Args, String> {
                 args.resize = Some(n);
             }
             "--defrag" if engine_mode => args.defrag = true,
+            "--substrate" if engine_mode => {
+                // Optional rule-mode value: `--substrate [relaxed|strict]`.
+                args.substrate = Some(match argv.peek().map(String::as_str) {
+                    Some("strict") => {
+                        argv.next();
+                        Mode::Strict
+                    }
+                    Some("relaxed") => {
+                        argv.next();
+                        Mode::Relaxed
+                    }
+                    _ => Mode::Relaxed,
+                });
+            }
+            "--verify-cadence" if engine_mode => {
+                args.cadence = Some(match next("final, quiesce or batch")?.as_str() {
+                    "final" => VerifyCadence::Final,
+                    "quiesce" => VerifyCadence::Quiesce,
+                    "batch" => VerifyCadence::Batch,
+                    other => return Err(format!("--verify-cadence: unknown cadence {other:?}")),
+                });
+            }
             other => {
                 return Err(format!(
                     "unknown option {other} (or not valid {} engine mode)",
@@ -238,6 +284,22 @@ fn parse_args() -> Result<Args, String> {
     if args.defrag && args.rebalance_every.is_none() && !args.auto_rebalance {
         return Err("--defrag needs --rebalance-every or --auto-rebalance".into());
     }
+    if args.cadence.is_some() && args.substrate.is_none() {
+        return Err(
+            "--verify-cadence modifies --substrate (without a substrate there is nothing to verify)"
+                .into(),
+        );
+    }
+    if args.substrate == Some(Mode::Strict)
+        && !matches!(args.variant.as_str(), "checkpointed" | "deamortized")
+    {
+        return Err(
+            "--substrate strict needs --variant checkpointed or deamortized \
+             (the §2 algorithm and the baselines legitimately violate the \
+             database rules — that is why §3 exists)"
+                .into(),
+        );
+    }
     Ok(args)
 }
 
@@ -251,9 +313,15 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let substrate = args.substrate.map(|mode| SubstrateConfig {
+        mode,
+        verify: args.cadence.unwrap_or_default(),
+        ..SubstrateConfig::default()
+    });
     let config = EngineConfig {
         shards: args.shards,
         batch: args.batch,
+        substrate,
         ..Default::default()
     };
     let factory =
@@ -271,6 +339,17 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         args.batch,
         engine.router().name()
     );
+    if let Some(s) = &substrate {
+        println!(
+            "substrate: {} rules, {}-cell windows, verify at {} cadence",
+            match s.mode {
+                Mode::Strict => "strict",
+                Mode::Relaxed => "relaxed",
+            },
+            s.window_span,
+            s.verify
+        );
+    }
 
     let rebalance_opts = if args.defrag {
         RebalanceOptions::with_defrag(args.eps)
@@ -378,6 +457,20 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         eprintln!("engine run failed: {e}");
         return ExitCode::FAILURE;
     }
+    // The final explicit verification scan (the only one a `final` cadence
+    // ever runs before shutdown): extents against the reallocator, every
+    // live object's bytes re-checksummed, per shard.
+    let substrate_reports = if engine.substrate_enabled() {
+        match engine.verify_substrate() {
+            Ok(reports) => Some(reports),
+            Err(e) => {
+                eprintln!("substrate verification FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let live_shards = engine.shards();
     let finals = match engine.shutdown() {
         Ok(f) => f,
@@ -398,26 +491,32 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             .map(|f| f.stats.clone())
             .collect(),
     };
-    let mut table = Table::new(
-        format!("per-shard stats ({})", args.variant),
-        &[
-            "shard",
-            "requests",
-            "batches",
-            "objects",
-            "volume",
-            "footprint",
-            "structure",
-            "delta",
-            "moves",
-            "moved vol",
-            "migr in",
-            "migr out",
-            "ratio",
-        ],
-    );
+    let with_bytes = substrate_reports.is_some();
+    let mut headers = vec![
+        "shard",
+        "requests",
+        "batches",
+        "objects",
+        "volume",
+        "footprint",
+        "structure",
+        "delta",
+        "moves",
+        "moved vol",
+        "migr in",
+        "migr out",
+    ];
+    if with_bytes {
+        // The physical-I/O columns only exist when shards run substrates:
+        // `bytes w` counts every cell physically written (allocations,
+        // flush copies, adopted transfers); `bytes in`/`bytes out` count
+        // cells that crossed shard address spaces, checksummed on arrival.
+        headers.extend(["bytes w", "bytes in", "bytes out"]);
+    }
+    headers.push("ratio");
+    let mut table = Table::new(format!("per-shard stats ({})", args.variant), &headers);
     let row = |label: String, s: &ShardStats| {
-        vec![
+        let mut cells = vec![
             label,
             fmt_u64(s.requests),
             fmt_u64(s.batches),
@@ -430,8 +529,14 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             fmt_u64(s.total_moved_volume),
             fmt_u64(s.migrations_in),
             fmt_u64(s.migrations_out),
-            fmt2(s.max_settled_ratio),
-        ]
+        ];
+        if with_bytes {
+            cells.push(fmt_u64(s.substrate_bytes_written));
+            cells.push(fmt_u64(s.substrate_bytes_in));
+            cells.push(fmt_u64(s.substrate_bytes_out));
+        }
+        cells.push(fmt2(s.max_settled_ratio));
+        cells
     };
     for s in &stats.per_shard {
         table.row(row(s.shard.to_string(), s));
@@ -440,7 +545,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     for f in finals.iter().skip(live_shards) {
         table.row(row(format!("{}†", f.stats.shard), &f.stats));
     }
-    table.row(vec![
+    let mut aggregate = vec![
         "Σ".into(),
         fmt_u64(stats.requests()),
         fmt_u64(stats.batches()),
@@ -453,8 +558,14 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         fmt_u64(stats.total_moved_volume()),
         fmt_u64(stats.per_shard.iter().map(|s| s.migrations_in).sum()),
         fmt_u64(stats.per_shard.iter().map(|s| s.migrations_out).sum()),
-        fmt2(stats.worst_settled_ratio()),
-    ]);
+    ];
+    if with_bytes {
+        aggregate.push(fmt_u64(stats.bytes_written()));
+        aggregate.push(fmt_u64(stats.bytes_migrated_in()));
+        aggregate.push(fmt_u64(stats.bytes_migrated_out()));
+    }
+    aggregate.push(fmt2(stats.worst_settled_ratio()));
+    table.row(aggregate);
     table.print();
     println!("(aggregate ratio column is the worst shard's settled ratio)");
     println!(
@@ -463,6 +574,30 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         stats.max_shard_volume(),
         stats.mean_shard_volume()
     );
+    if let Some(reports) = &substrate_reports {
+        println!("\n-- substrate (per-shard byte stores over disjoint windows) --");
+        for r in reports {
+            println!(
+                "  shard {}: window {} — {} objects / {} cells byte-verified",
+                r.shard, r.window, r.objects, r.bytes
+            );
+        }
+        println!(
+            "  physical writes: {} cells; cross-window transfers: {} out / {} in \
+             (ledger migrate volume: {} out / {} in)",
+            stats.bytes_written(),
+            stats.bytes_migrated_out(),
+            stats.bytes_migrated_in(),
+            stats.migrated_volume_out(),
+            stats.migrated_volume(),
+        );
+        println!(
+            "  verification scans: {} ({} cadence); rule violations: 0 \
+             (the run would have failed otherwise)",
+            stats.substrate_verifications(),
+            args.cadence.unwrap_or_default()
+        );
+    }
 
     println!(
         "\nthroughput: {:.0} requests/sec ({} requests in {:.3}s, wall clock)",
@@ -497,10 +632,13 @@ fn main() -> ExitCode {
                  usage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]\n\
                  \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
                  \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
-                 \x20                         [--resize n] [--defrag]\n\
+                 \x20                         [--resize n] [--defrag] [--substrate [relaxed|strict]] [--verify-cadence final|quiesce|batch]\n\
                  \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
                  \x20      (--rebalance-every alone quiesces the whole fleet per rebalance; --online or\n\
-                 \x20       --auto-rebalance migrate in bounded batches interleaved with serving)"
+                 \x20       --auto-rebalance migrate in bounded batches interleaved with serving;\n\
+                 \x20       --substrate backs each shard with a byte store over its own address window —\n\
+                 \x20       verification cost: final = one O(V) scan per shard for the whole run,\n\
+                 \x20       quiesce = one per barrier (default), batch = one per channel batch (debugging))"
             );
             return ExitCode::FAILURE;
         }

@@ -64,8 +64,9 @@ pub mod prelude {
     pub use crate::engine::{
         DefragSummary, Engine, EngineConfig, EngineError, EngineStats, OnlinePlan, RebalanceMode,
         RebalanceOptions, RebalancePolicy, RebalanceReport, ResizeReport, ShardStats,
+        SubstrateConfig, SubstrateReport, VerifyCadence,
     };
     pub use crate::harness::{run_workload, RunConfig, RunResult};
-    pub use crate::sim::{Mode, SimStore};
+    pub use crate::sim::{checksum, pattern_for, AddressWindow, DataStore, Mode, SimStore};
     pub use crate::workloads::{Request, Workload};
 }

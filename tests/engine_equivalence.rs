@@ -4,8 +4,10 @@
 //! sharded run is — by construction — the same computation as replaying
 //! each shard's sub-sequence on a standalone reallocator. These tests
 //! check that the construction actually holds for all three paper
-//! variants: same extents per shard, same space telemetry, no object lost
-//! or duplicated after `quiesce`, and bitwise-identical `EngineStats`
+//! variants: same extents per shard, same space telemetry, the same
+//! *physical bytes* (each shard runs a byte-carrying substrate, compared
+//! against an unsharded `DataStore` replay of its sub-sequence), no object
+//! lost or duplicated after `quiesce`, and bitwise-identical `EngineStats`
 //! across repeat runs.
 
 use proptest::prelude::*;
@@ -56,34 +58,44 @@ fn materialize(ops: &[u64]) -> Workload {
     Workload::new("prop sequence", requests)
 }
 
-/// Replays `part` on a standalone reallocator, quiesces, and returns the
-/// live-object placements (sorted by id) plus the reallocator for further
-/// state queries.
+/// Replays `part` on a standalone reallocator — with every physical op
+/// mirrored into an unsharded byte-carrying `DataStore`, the reference a
+/// substrate-backed shard must match byte for byte — quiesces, and returns
+/// the live-object placements (sorted by id), the reallocator, and the
+/// byte store.
 fn standalone_replay(
     variant: &str,
     eps: f64,
     part: &Workload,
-) -> (Vec<(ObjectId, Extent)>, Box<dyn Reallocator + Send>) {
+) -> (
+    Vec<(ObjectId, Extent)>,
+    Box<dyn Reallocator + Send>,
+    DataStore,
+) {
     let mut r = build(variant, eps);
+    let mut data = DataStore::new(Mode::Relaxed);
     let mut live = std::collections::BTreeSet::new();
     for req in &part.requests {
-        match *req {
+        let outcome = match *req {
             Request::Insert { id, size } => {
-                r.insert(id, size).expect("valid workload insert");
+                let out = r.insert(id, size).expect("valid workload insert");
                 live.insert(id);
+                out
             }
             Request::Delete { id } => {
-                r.delete(id).expect("valid workload delete");
+                let out = r.delete(id).expect("valid workload delete");
                 live.remove(&id);
+                out
             }
-        }
+        };
+        data.apply_all(&outcome.ops).expect("reference replay");
     }
-    r.quiesce();
+    data.apply_all(&r.quiesce().ops).expect("reference drain");
     let extents = live
         .into_iter()
         .filter_map(|id| r.extent_of(id).map(|e| (id, e)))
         .collect();
-    (extents, r)
+    (extents, r, data)
 }
 
 proptest! {
@@ -103,20 +115,42 @@ proptest! {
 
         for variant in VARIANTS {
             let mut engine = Engine::new(
-                EngineConfig { batch: 32, queue_depth: 2, ..EngineConfig::with_shards(shards) },
+                EngineConfig {
+                    batch: 32,
+                    queue_depth: 2,
+                    ..EngineConfig::with_shards(shards)
+                }
+                .with_substrate(SubstrateConfig::default()),
                 |_| build(variant, eps),
             );
             engine.drive(&workload).expect("drive");
+            // The quiesce barrier also runs each shard's substrate scan
+            // (extents against the reallocator, bytes against checksums).
             let stats = engine.quiesce().expect("quiesce");
             let engine_extents = engine.extents().expect("extents");
+            let engine_bytes = engine.substrate_contents().expect("contents");
 
             let mut total_objects = 0usize;
             for (s, part) in parts.iter().enumerate() {
-                let (expected_extents, standalone) = standalone_replay(variant, eps, part);
+                let (expected_extents, standalone, reference_bytes) =
+                    standalone_replay(variant, eps, part);
                 prop_assert_eq!(
                     &engine_extents[s], &expected_extents,
                     "{}: shard {} placements diverge", variant, s
                 );
+                // Same *bytes*, not just the same extents: the shard's
+                // substrate holds exactly what the unsharded DataStore
+                // replay of its sub-sequence holds.
+                prop_assert_eq!(
+                    engine_bytes[s].len(), expected_extents.len(),
+                    "{}: shard {} byte population diverges", variant, s
+                );
+                for (id, bytes) in &engine_bytes[s] {
+                    prop_assert_eq!(
+                        Some(&bytes[..]), reference_bytes.bytes_of(*id),
+                        "{}: {} bytes diverge on shard {}", variant, id, s
+                    );
+                }
                 total_objects += expected_extents.len();
 
                 let row = &stats.per_shard[s];
