@@ -129,6 +129,14 @@ pub trait Router: Send {
         0
     }
 
+    /// Every explicit `(id, shard)` assignment currently held, in
+    /// unspecified order (empty for stateless routers). This is the state a
+    /// durability layer checkpoints: the fallback is a pure function, so
+    /// the assignment table *is* the router.
+    fn assigned_ids(&self) -> Vec<(ObjectId, usize)> {
+        Vec::new()
+    }
+
     /// Short human-readable router name for tables.
     fn name(&self) -> &'static str;
 }
@@ -263,6 +271,10 @@ impl Router for TableRouter {
         self.table.len()
     }
 
+    fn assigned_ids(&self) -> Vec<(ObjectId, usize)> {
+        self.table.iter().map(|(&id, &s)| (id, s)).collect()
+    }
+
     fn name(&self) -> &'static str {
         "table"
     }
@@ -395,9 +407,11 @@ mod tests {
         assert_eq!(r.route(id), other);
         assert_eq!(r.assignment(id), Some(other));
         assert_eq!(r.assignments(), 1);
+        assert_eq!(r.assigned_ids(), vec![(id, other)]);
         r.unassign(id);
         assert_eq!(r.route(id), fallback);
         assert_eq!(r.assignments(), 0);
+        assert!(r.assigned_ids().is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! cross-shard rebalancing, and live shard-count resizing.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, SyncSender};
 use std::thread::JoinHandle;
 
@@ -12,7 +13,7 @@ use crate::rebalance::{
     plan_rebalance, Migration, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy,
     RebalanceReport, ResizeReport,
 };
-use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
+use crate::shard::{Command, ShardError, ShardFinal, ShardJournal, ShardReply, ShardWorker};
 use crate::stats::EngineStats;
 use crate::substrate::{SubstrateConfig, SubstrateReport, Transfer};
 
@@ -128,6 +129,14 @@ pub enum EngineError {
         /// Human-readable description of the first failure.
         detail: String,
     },
+    /// The durability layer failed: a write-ahead log or checkpoint could
+    /// not be opened or written, or [`Engine::recover`] found logs whose
+    /// surviving records are inconsistent (a digest that does not match the
+    /// object's regenerated content, a corrupt checkpoint).
+    Wal {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -153,6 +162,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Substrate { shard, detail } => {
                 write!(f, "shard {shard} substrate failure: {detail}")
             }
+            EngineError::Wal { detail } => write!(f, "durability failure: {detail}"),
         }
     }
 }
@@ -295,6 +305,14 @@ pub struct Engine {
     /// payload that passes through [`Engine::migrate`], after the source
     /// acked it. See [`Engine::inject_transfer_corruption`].
     corrupt_next_transfer: bool,
+    /// Directory of the per-shard write-ahead logs, when durability is on
+    /// (see [`Engine::with_wal`]). `None` keeps the journal-free fast path.
+    wal_dir: Option<PathBuf>,
+    /// Next cross-shard transfer sequence number. Every planned migration
+    /// consumes one; the source journals it in its `MigrateOut` and the
+    /// target in its `MigrateIn`/`RouteFlip`, so recovery can pair the two
+    /// halves of a transfer across independently truncated logs.
+    xfer_seq: u64,
 }
 
 impl Engine {
@@ -320,7 +338,70 @@ impl Engine {
     /// # Panics
     /// Panics if `config.shards` or `config.batch` is zero, or if the
     /// router targets a different shard count.
-    pub fn with_router<F>(config: EngineConfig, router: Box<dyn Router>, mut factory: F) -> Engine
+    pub fn with_router<F>(config: EngineConfig, router: Box<dyn Router>, factory: F) -> Engine
+    where
+        F: FnMut(usize) -> BoxedReallocator,
+    {
+        Engine::build(config, router, factory, None, 0)
+            .expect("spawning shards without a WAL cannot fail")
+    }
+
+    /// Like [`Engine::with_router`], but with durability: each shard
+    /// journals its physical ops and route flips into a write-ahead log
+    /// under `wal_dir` (one group commit per command), checkpoints at
+    /// quiesce/shutdown barriers, and a crashed fleet can be rebuilt with
+    /// [`Engine::recover`]. Stale `*.wal`/`*.ckpt` files under `wal_dir`
+    /// are removed first — a fresh engine's history starts now; to resume
+    /// from existing logs, call [`Engine::recover`] instead.
+    ///
+    /// # Errors
+    /// [`EngineError::Wal`] if the directory or a shard's log cannot be
+    /// created.
+    ///
+    /// # Panics
+    /// Panics like [`Engine::with_router`] on a zero shard/batch count or a
+    /// router/config shard-count mismatch.
+    pub fn with_wal<F>(
+        config: EngineConfig,
+        router: Box<dyn Router>,
+        factory: F,
+        wal_dir: impl AsRef<Path>,
+    ) -> Result<Engine, EngineError>
+    where
+        F: FnMut(usize) -> BoxedReallocator,
+    {
+        let dir = wal_dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| EngineError::Wal {
+            detail: format!("create {}: {e}", dir.display()),
+        })?;
+        let entries = std::fs::read_dir(&dir).map_err(|e| EngineError::Wal {
+            detail: format!("scan {}: {e}", dir.display()),
+        })?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let stale = path
+                .extension()
+                .is_some_and(|ext| ext == "wal" || ext == "ckpt");
+            if stale {
+                std::fs::remove_file(&path).map_err(|e| EngineError::Wal {
+                    detail: format!("remove stale {}: {e}", path.display()),
+                })?;
+            }
+        }
+        Engine::build(config, router, factory, Some(dir), 0)
+    }
+
+    /// The constructor all public fronts share. `wal_dir: Some(..)` opens
+    /// each shard's journal at the epoch of its current checkpoint (fresh
+    /// directories start at 0); `recoveries` seeds every worker's recovery
+    /// counter (1 when [`Engine::recover`] rebuilds a fleet, 0 otherwise).
+    pub(crate) fn build<F>(
+        config: EngineConfig,
+        router: Box<dyn Router>,
+        mut factory: F,
+        wal_dir: Option<PathBuf>,
+        recoveries: u64,
+    ) -> Result<Engine, EngineError>
     where
         F: FnMut(usize) -> BoxedReallocator,
     {
@@ -342,17 +423,39 @@ impl Engine {
             finished: None,
             auto: None,
             corrupt_next_transfer: false,
+            wal_dir,
+            xfer_seq: 1,
         };
         for shard in 0..config.shards {
-            engine.spawn_shard(shard, factory(shard));
+            engine.spawn_shard(shard, factory(shard), recoveries)?;
         }
-        engine
+        Ok(engine)
     }
 
-    fn spawn_shard(&mut self, shard: usize, realloc: BoxedReallocator) {
+    fn spawn_shard(
+        &mut self,
+        shard: usize,
+        realloc: BoxedReallocator,
+        recoveries: u64,
+    ) -> Result<(), EngineError> {
         let (tx, rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
         let substrate = self.config.substrate.map(|s| s.build(shard));
-        let worker = ShardWorker::new(shard, realloc, substrate, self.config.record_ledger);
+        let journal = match &self.wal_dir {
+            Some(dir) => Some(
+                ShardJournal::open(dir, shard).map_err(|e| EngineError::Wal {
+                    detail: format!("open shard {shard} journal: {e}"),
+                })?,
+            ),
+            None => None,
+        };
+        let worker = ShardWorker::new(
+            shard,
+            realloc,
+            substrate,
+            self.config.record_ledger,
+            journal,
+            recoveries,
+        );
         let handle = std::thread::Builder::new()
             .name(format!("realloc-shard-{shard}"))
             .spawn(move || worker.run(rx))
@@ -360,6 +463,18 @@ impl Engine {
         self.senders.push(tx);
         self.workers.push(handle);
         self.pending.push(Vec::with_capacity(self.config.batch));
+        Ok(())
+    }
+
+    /// The write-ahead-log directory, when durability is on.
+    pub fn wal_dir(&self) -> Option<&Path> {
+        self.wal_dir.as_deref()
+    }
+
+    /// Seeds the transfer sequence counter past everything a replayed log
+    /// already consumed (recovery only — a fresh engine starts at 1).
+    pub(crate) fn set_xfer_seq(&mut self, next: u64) {
+        self.xfer_seq = next;
     }
 
     /// Number of shards.
@@ -444,16 +559,18 @@ impl Engine {
         Ok(())
     }
 
-    /// Barrier: flush, send one command per shard, await all replies.
+    /// Barrier: flush, send one command per shard (the closure sees the
+    /// shard index, for commands with per-shard payloads like checkpoint
+    /// pins), await all replies.
     fn barrier<T>(
         &mut self,
-        make: impl Fn(mpsc::Sender<T>) -> Command,
+        make: impl Fn(usize, mpsc::Sender<T>) -> Command,
     ) -> Result<Vec<T>, EngineError> {
         self.flush()?;
         let mut replies = Vec::with_capacity(self.senders.len());
         for shard in 0..self.senders.len() {
             let (tx, rx) = mpsc::channel();
-            self.send(shard, make(tx))?;
+            self.send(shard, make(shard, tx))?;
             replies.push(rx);
         }
         replies
@@ -528,8 +645,29 @@ impl Engine {
     /// machinery (and the policy trigger itself) uses, so an observation
     /// can never recursively trigger another observation.
     fn quiesce_inner(&mut self) -> Result<EngineStats, EngineError> {
-        let replies = self.barrier(Command::Quiesce)?;
+        let pins = self.router_pins();
+        let replies = self.barrier(|shard, reply| Command::Quiesce {
+            reply,
+            pins: pins[shard].clone(),
+        })?;
         Self::aggregate(replies)
+    }
+
+    /// Per-shard lists of the ids the routing table explicitly assigns
+    /// (empty everywhere without a WAL — nothing would persist them). Sent
+    /// with checkpoint barriers so each shard's checkpoint records which of
+    /// its objects sit off the router's rendezvous fallback; recovery can
+    /// then rebuild the assignment table from the shard files alone.
+    fn router_pins(&self) -> Vec<Vec<ObjectId>> {
+        let mut pins = vec![Vec::new(); self.senders.len()];
+        if self.wal_dir.is_some() {
+            for (id, shard) in self.router.assigned_ids() {
+                if shard < pins.len() {
+                    pins[shard].push(id);
+                }
+            }
+        }
+        pins
     }
 
     /// Waits until every enqueued request has been served and returns the
@@ -545,7 +683,7 @@ impl Engine {
 
     /// [`snapshot`](Engine::snapshot) without the policy hook.
     fn snapshot_inner(&mut self) -> Result<EngineStats, EngineError> {
-        let replies = self.barrier(Command::Snapshot)?;
+        let replies = self.barrier(|_, reply| Command::Snapshot(reply))?;
         Self::aggregate(replies)
     }
 
@@ -553,7 +691,7 @@ impl Engine {
     /// (A barrier, like `snapshot`.) Objects whose delete is deferred
     /// inside a quiescing structure are not listed.
     pub fn extents(&mut self) -> Result<Vec<Vec<(ObjectId, Extent)>>, EngineError> {
-        self.barrier(Command::Extents)
+        self.barrier(|_, reply| Command::Extents(reply))
     }
 
     /// Whether every shard runs a byte-carrying substrate
@@ -572,7 +710,7 @@ impl Engine {
             return Ok(Vec::new());
         }
         let reports: Vec<SubstrateReport> = self
-            .barrier(Command::VerifySubstrate)?
+            .barrier(|_, reply| Command::VerifySubstrate(reply))?
             .into_iter()
             .flatten()
             .collect();
@@ -586,7 +724,24 @@ impl Engine {
     /// channels; byte-level *checking* should go through
     /// [`verify_substrate`](Engine::verify_substrate) instead.
     pub fn substrate_contents(&mut self) -> Result<Vec<crate::ShardBytes>, EngineError> {
-        self.barrier(Command::DumpSubstrate)
+        self.barrier(|_, reply| Command::DumpSubstrate(reply))
+    }
+
+    /// Fault injection for durability/integrity testing: flip one byte of
+    /// the lowest-id live object's substrate cells on `shard` (checksum
+    /// left stale, so the next verification scan must fail — and, being
+    /// sticky, keep failing). Returns the damaged id, or `None` when the
+    /// shard has no substrate or no live objects. Recovery rebuilds the
+    /// shard's bytes from scratch, which is how the sticky error is
+    /// legitimately cleared.
+    pub fn inject_substrate_corruption(
+        &mut self,
+        shard: usize,
+    ) -> Result<Option<ObjectId>, EngineError> {
+        self.flush_shard(shard)?;
+        let (tx, rx) = mpsc::channel();
+        self.send(shard, Command::CorruptSubstrate(tx))?;
+        rx.recv().map_err(|_| EngineError::ShardDown { shard })
     }
 
     /// Fault injection for integrity testing: damage one byte of the next
@@ -690,7 +845,7 @@ impl Engine {
         outcome.surface()?;
         let (migrated_objects, migrated_volume) = outcome.totals();
         let defrag = match opts.defrag_eps {
-            Some(eps) => self.barrier(|reply| Command::Defrag { eps, reply })?,
+            Some(eps) => self.barrier(|_, reply| Command::Defrag { eps, reply })?,
             None => Vec::new(),
         };
         let after = self.quiesce_inner()?;
@@ -882,7 +1037,7 @@ impl Engine {
             return Ok(true);
         }
         let defrag = match session.defrag_eps {
-            Some(eps) => self.barrier(|reply| Command::Defrag { eps, reply })?,
+            Some(eps) => self.barrier(|_, reply| Command::Defrag { eps, reply })?,
             None => Vec::new(),
         };
         let after = self.snapshot_inner()?;
@@ -999,7 +1154,7 @@ impl Engine {
             }
         }
         for shard in from..shards {
-            self.spawn_shard(shard, factory(shard));
+            self.spawn_shard(shard, factory(shard), 0)?;
         }
         let outcome = self.migrate(&plan)?;
         if outcome.first_error.is_some() {
@@ -1044,7 +1199,15 @@ impl Engine {
         // aligned with the vectors we pop from).
         for shard in (shards..from).rev() {
             let (tx, rx) = mpsc::channel();
-            self.send(shard, Command::Finish(tx))?;
+            // A retired shard is drained, so its closing checkpoint pins
+            // nothing and records an empty layout.
+            self.send(
+                shard,
+                Command::Finish {
+                    reply: tx,
+                    pins: Vec::new(),
+                },
+            )?;
             let fin = rx.recv().map_err(|_| EngineError::ShardDown { shard })?;
             debug_assert_eq!(fin.stats.live_count, 0, "retired shard still holds objects");
             self.retired.push(fin);
@@ -1081,9 +1244,13 @@ impl Engine {
             return Ok(outcome);
         }
         let n = self.senders.len();
-        let mut outs: Vec<Vec<ObjectId>> = vec![Vec::new(); n];
+        let mut outs: Vec<Vec<(ObjectId, u64)>> = vec![Vec::new(); n];
         for m in plan {
-            outs[m.from].push(m.id);
+            // One globally unique sequence number per planned transfer,
+            // journaled by both halves — recovery pairs them across logs.
+            let xfer = self.xfer_seq;
+            self.xfer_seq += 1;
+            outs[m.from].push((m.id, xfer));
         }
         let mut waiting = Vec::new();
         for (shard, ids) in outs.into_iter().enumerate() {
@@ -1160,7 +1327,11 @@ impl Engine {
     /// first — a shutdown must not strand half a migration plan.
     pub fn shutdown(mut self) -> Result<Vec<ShardFinal>, EngineError> {
         while self.step_session()? {}
-        let mut finals = self.barrier(Command::Finish)?;
+        let pins = self.router_pins();
+        let mut finals = self.barrier(|shard, reply| Command::Finish {
+            reply,
+            pins: pins[shard].clone(),
+        })?;
         self.senders.clear();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -1173,6 +1344,19 @@ impl Engine {
                 .map(|f| (f.stats.shard, &f.first_substrate_error)),
         )?;
         Ok(finals)
+    }
+
+    /// Simulated `kill -9` (testing): tears the fleet down with **no**
+    /// final barrier — no quiesce, no checkpoint, no truncation. Commands
+    /// already queued on the channels still drain (each worker loops until
+    /// its channel disconnects), so the crash point is deterministic: state
+    /// the WAL group-committed survives, everything after it is lost. Pair
+    /// with [`Engine::recover`] on the same directory to rebuild.
+    pub fn crash(mut self) {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
     }
 }
 

@@ -108,13 +108,7 @@
 
 pub mod engine;
 pub mod rebalance;
-#[deprecated(
-    since = "0.1.0",
-    note = "a re-export shim since the routing layer moved to \
-            `realloc_common::router`; use that module (or the crate-root \
-            re-exports) instead — see ARCHITECTURE.md for the removal plan"
-)]
-pub mod route;
+pub mod recover;
 pub mod shard;
 pub mod stats;
 pub mod substrate;
@@ -125,6 +119,7 @@ pub use rebalance::{
     DefragSummary, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy, RebalanceReport,
     ResizeReport,
 };
+pub use recover::RecoveryReport;
 pub use shard::ShardFinal;
 pub use stats::{EngineStats, ShardStats};
 pub use storage_sim::{AddressWindow, Mode as SubstrateRules};

@@ -1,0 +1,291 @@
+//! Crash recovery: rebuild a fleet from its per-shard checkpoints and
+//! write-ahead logs.
+//!
+//! [`Engine::recover`] is the read side of the durability protocol the
+//! shard workers write (see [`crate::shard`] and [`storage_sim::wal`]).
+//! Each shard's durable state is a checkpoint (its full live layout at
+//! some epoch) plus a log suffix (every group-committed op since). The
+//! logs are *independent* — each shard truncates its own at its own
+//! barriers, and a crash tears them at different points — so recovery has
+//! to reconcile a fleet-wide logical state from per-shard files that need
+//! not agree on how far a cross-shard migration got:
+//!
+//! 1. **Fold** each shard's checkpoint + replayable log suffix into its
+//!    last durable live set. Frames whose epoch predates the checkpoint
+//!    are skipped (they survive only when a crash hit between the
+//!    checkpoint rename and the log truncation — the checkpoint already
+//!    subsumes them); a torn tail was already discarded by the frame
+//!    reader.
+//! 2. **Reconcile** migrations across shards by transfer sequence number.
+//!    An id live on two shards (source log truncated below its
+//!    `MigrateOut`, target log kept its `MigrateIn`) keeps the copy with
+//!    the higher claim — the later arrival — and drops the rest. A
+//!    `MigrateOut` with no matching `MigrateIn` anywhere and its id live
+//!    nowhere is a transfer that died in flight: the object is
+//!    resurrected on its source shard (content is regenerable — see
+//!    below). Either way every id ends live on exactly one shard.
+//! 3. **Prove** content. The log stores digests, not payloads: a live
+//!    object's bytes are always `pattern_for(id, len)` (allocations write
+//!    the pattern; moves and transfers are byte-faithful), so recovery
+//!    regenerates each object's content and requires its checksum to
+//!    equal the journaled digest. A mismatch is a hard
+//!    [`EngineError::Wal`] — the log is lying about what was stored.
+//! 4. **Re-derive routing** from physical ownership: a fresh
+//!    [`TableRouter`] gets an assignment exactly where its rendezvous
+//!    fallback disagrees with the shard that owns the id. Routing
+//!    therefore *provably* matches ownership — it is computed from it.
+//! 5. **Reseed** a fresh fleet through the normal insert path (the
+//!    derived router lands every object on its owner), then quiesce —
+//!    which checkpoints the rebuilt state and truncates the logs — and,
+//!    when substrates are on, run the full byte-verification scan.
+//!
+//! Placements within a shard may differ from the pre-crash layout (the
+//! reallocator re-allocates); the guarantee is *logical* state plus byte
+//! fidelity, not placement stability. Recovery journals its own reseeding
+//! appends before its closing checkpoint, so a crash *during* recovery
+//! recovers again.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use realloc_common::{BoxedReallocator, ObjectId, TableRouter};
+use storage_sim::wal::{checkpoint_path, read_checkpoint, read_wal, wal_path};
+use storage_sim::{checksum, pattern_for, WalRecord};
+
+use crate::engine::{Engine, EngineConfig, EngineError};
+use crate::substrate::SubstrateReport;
+
+/// What [`Engine::recover`] rebuilt, and from what.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Shards recovered.
+    pub shards: usize,
+    /// Objects restored from checkpoints (before log replay).
+    pub checkpoint_objects: u64,
+    /// Group-commit frames replayed across all logs.
+    pub replayed_groups: u64,
+    /// WAL records replayed across all logs.
+    pub replayed_records: u64,
+    /// Live objects in the rebuilt fleet.
+    pub objects: u64,
+    /// Live volume of the rebuilt fleet.
+    pub volume: u64,
+    /// Objects whose transfer died in flight (a journaled `MigrateOut`
+    /// with no surviving `MigrateIn`), restored on their source shard.
+    pub resurrected: Vec<ObjectId>,
+    /// Ids found live on more than one shard (per-log truncation skew
+    /// around a migration); the stale copies were dropped in favor of the
+    /// latest arrival.
+    pub dropped_duplicates: Vec<ObjectId>,
+    /// Routing-table assignments the recovered fleet needed — ids whose
+    /// owning shard differs from the fresh router's rendezvous fallback.
+    pub route_assignments: u64,
+    /// Per-shard byte-verification reports (empty without substrates).
+    pub substrate: Vec<SubstrateReport>,
+}
+
+/// One object's folded durable state on one shard.
+struct Tracked {
+    size: u64,
+    digest: u64,
+    /// Transfer sequence number that brought the object here (0 for a
+    /// plain allocation). When truncation skew leaves an id live on two
+    /// shards, the higher claim — the later arrival — wins.
+    claim: u64,
+}
+
+fn wal_err(detail: String) -> EngineError {
+    EngineError::Wal { detail }
+}
+
+impl Engine {
+    /// Rebuilds a crashed (or cleanly stopped) fleet from the write-ahead
+    /// logs and checkpoints under `wal_dir`, returning the recovered
+    /// engine — journaling into the same directory — and a report of what
+    /// replay found. See the [module docs](crate::recover) for the
+    /// algorithm and its guarantees.
+    ///
+    /// `config.shards` must match the fleet that wrote the logs; `factory`
+    /// builds each shard's reallocator like at construction. The engine's
+    /// router is a fresh [`TableRouter`] re-derived from physical
+    /// ownership (any router the old fleet used is superseded — its
+    /// durable assignments live in the checkpoints' pin flags and, more
+    /// fundamentally, in where the objects physically are).
+    ///
+    /// # Errors
+    /// [`EngineError::Wal`] when a log or checkpoint cannot be read or a
+    /// replayed digest does not match the object's regenerated content;
+    /// any barrier error the reseeding quiesce or the closing
+    /// byte-verification surfaces.
+    pub fn recover<F>(
+        config: EngineConfig,
+        wal_dir: impl AsRef<Path>,
+        factory: F,
+    ) -> Result<(Engine, RecoveryReport), EngineError>
+    where
+        F: FnMut(usize) -> BoxedReallocator,
+    {
+        let dir = wal_dir.as_ref().to_path_buf();
+        let mut report = RecoveryReport {
+            shards: config.shards,
+            ..RecoveryReport::default()
+        };
+
+        // Phase 1: fold each shard's checkpoint + log suffix.
+        let mut live: Vec<BTreeMap<ObjectId, Tracked>> = Vec::with_capacity(config.shards);
+        // Every journaled MigrateOut as (xfer, id, size, source shard).
+        let mut outs: Vec<(u64, ObjectId, u64, usize)> = Vec::new();
+        // Transfer sequence numbers whose arrival survived in some log.
+        let mut arrived: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut max_xfer = 0u64;
+        for shard in 0..config.shards {
+            let mut map = BTreeMap::new();
+            let ckpt = read_checkpoint(&checkpoint_path(&dir, shard))
+                .map_err(|e| wal_err(format!("shard {shard} checkpoint: {e}")))?;
+            let epoch = ckpt.as_ref().map_or(0, |c| c.epoch);
+            for entry in ckpt.into_iter().flat_map(|c| c.entries) {
+                report.checkpoint_objects += 1;
+                map.insert(
+                    entry.id,
+                    Tracked {
+                        size: entry.len,
+                        digest: entry.digest,
+                        claim: 0,
+                    },
+                );
+            }
+            let groups = read_wal(&wal_path(&dir, shard))
+                .map_err(|e| wal_err(format!("shard {shard} wal: {e}")))?;
+            for group in groups {
+                if group.epoch < epoch {
+                    // Pre-checkpoint frames survive only a crash between
+                    // the checkpoint rename and the truncation; the
+                    // checkpoint subsumes them.
+                    continue;
+                }
+                report.replayed_groups += 1;
+                for record in group.records {
+                    report.replayed_records += 1;
+                    match record {
+                        WalRecord::Allocate {
+                            id, len, digest, ..
+                        } => {
+                            map.insert(
+                                id,
+                                Tracked {
+                                    size: len,
+                                    digest,
+                                    claim: 0,
+                                },
+                            );
+                        }
+                        // Moves relocate within the shard; the logical
+                        // live set (and the regenerable content) is
+                        // unchanged.
+                        WalRecord::Move { .. } => {}
+                        WalRecord::Free { id, .. } => {
+                            map.remove(&id);
+                        }
+                        WalRecord::MigrateOut { id, size, xfer } => {
+                            map.remove(&id);
+                            outs.push((xfer, id, size, shard));
+                            max_xfer = max_xfer.max(xfer);
+                        }
+                        WalRecord::MigrateIn {
+                            id,
+                            len,
+                            digest,
+                            xfer,
+                            ..
+                        } => {
+                            map.insert(
+                                id,
+                                Tracked {
+                                    size: len,
+                                    digest,
+                                    claim: xfer,
+                                },
+                            );
+                            arrived.insert(xfer);
+                            max_xfer = max_xfer.max(xfer);
+                        }
+                        WalRecord::RouteFlip { xfer, .. } => {
+                            max_xfer = max_xfer.max(xfer);
+                        }
+                    }
+                }
+            }
+            live.push(map);
+        }
+
+        // Phase 2a: duplicates. An id live on two shards means the source
+        // log was truncated below its MigrateOut while the target kept the
+        // MigrateIn; the later arrival (higher claim) is the durable truth.
+        let mut owner: BTreeMap<ObjectId, (usize, u64, u64)> = BTreeMap::new();
+        for (shard, map) in live.into_iter().enumerate() {
+            for (id, t) in map {
+                // Digests are proven here, once per surviving copy: the
+                // content invariant says the bytes must regenerate.
+                if t.digest != checksum(&pattern_for(id, t.size)) {
+                    return Err(wal_err(format!(
+                        "shard {shard}: {id} digest does not match its regenerated \
+                         content at size {} — the log is inconsistent",
+                        t.size
+                    )));
+                }
+                match owner.get(&id) {
+                    Some(&(_, _, claim)) if claim >= t.claim => {
+                        report.dropped_duplicates.push(id);
+                    }
+                    Some(_) => {
+                        report.dropped_duplicates.push(id);
+                        owner.insert(id, (shard, t.size, t.claim));
+                    }
+                    None => {
+                        owner.insert(id, (shard, t.size, t.claim));
+                    }
+                }
+            }
+        }
+
+        // Phase 2b: transfers that died in flight. The source durably gave
+        // the object up, no arrival survived anywhere, and the id is live
+        // nowhere — resurrect it on its source (content regenerates from
+        // the pattern). Latest departure first, so an object migrated
+        // twice resurrects at its most recent home.
+        outs.sort_by_key(|&(xfer, ..)| std::cmp::Reverse(xfer));
+        for (xfer, id, size, shard) in outs {
+            if !arrived.contains(&xfer) && !owner.contains_key(&id) {
+                owner.insert(id, (shard, size, xfer));
+                report.resurrected.push(id);
+            }
+        }
+
+        report.objects = owner.len() as u64;
+        report.volume = owner.values().map(|&(_, size, _)| size).sum();
+
+        // Phase 3: routing re-derived from ownership — assign exactly
+        // where the fresh rendezvous fallback disagrees.
+        let mut router = TableRouter::new(config.shards);
+        for (&id, &(shard, ..)) in &owner {
+            if realloc_common::Router::route(&router, id) != shard {
+                realloc_common::Router::assign(&mut router, id, shard);
+                report.route_assignments += 1;
+            }
+        }
+
+        // Phase 4: reseed a fresh fleet through the normal serving path.
+        // The derived router lands every insert on its owner, workers
+        // journal the reseeding appends (a crash mid-recovery just
+        // recovers again), and the closing quiesce checkpoints the rebuilt
+        // state and truncates the logs.
+        let mut engine = Engine::build(config, Box::new(router), factory, Some(dir), 1)?;
+        engine.set_xfer_seq(max_xfer + 1);
+        for (id, (_, size, _)) in owner {
+            engine.insert(id, size)?;
+        }
+        engine.quiesce()?;
+        report.substrate = engine.verify_substrate()?;
+        Ok((engine, report))
+    }
+}

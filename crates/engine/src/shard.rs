@@ -19,16 +19,39 @@
 //! it elsewhere (no instant at which one id is live on two shards).
 
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{Receiver, Sender};
 
 use realloc_common::{
     Extent, Ledger, ObjectId, OpKind, OpRecord, Outcome, ReallocError, Reallocator, StorageOp,
 };
+use storage_sim::wal::{checkpoint_path, read_checkpoint, wal_path, write_checkpoint};
+use storage_sim::{checksum, pattern_for, Checkpoint, CheckpointEntry, WalRecord, WalWriter};
 use workload_gen::Request;
 
 use crate::rebalance::DefragSummary;
 use crate::stats::ShardStats;
 use crate::substrate::{ShardSubstrate, SubstrateReport, Transfer, TransferPayload};
+
+/// One shard's durability state: the write-ahead log appender plus the
+/// path of the checkpoint file that truncates it. Owned by the worker
+/// thread — journaling happens where the ops are applied, so the log's
+/// record order is exactly the shard's apply order.
+pub(crate) struct ShardJournal {
+    pub writer: WalWriter,
+    pub ckpt: PathBuf,
+}
+
+impl ShardJournal {
+    /// Opens shard `shard`'s log under `dir`, resuming at the epoch of its
+    /// current checkpoint (0 when none exists — a fresh shard).
+    pub(crate) fn open(dir: &Path, shard: usize) -> std::io::Result<ShardJournal> {
+        let ckpt = checkpoint_path(dir, shard);
+        let epoch = read_checkpoint(&ckpt)?.map_or(0, |c| c.epoch);
+        let writer = WalWriter::open(&wal_path(dir, shard), epoch)?;
+        Ok(ShardJournal { writer, ckpt })
+    }
+}
 
 /// The first request a shard's reallocator rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +96,18 @@ pub struct ShardFinal {
 pub(crate) enum Command {
     /// Serve a run of requests in order.
     Batch(Vec<Request>),
-    /// Complete deferred work (`Reallocator::quiesce`), then reply.
-    Quiesce(Sender<ShardReply>),
+    /// Complete deferred work (`Reallocator::quiesce`), then reply. A
+    /// WAL'd shard also writes a checkpoint (live extents + the `pins` —
+    /// the ids the routing table explicitly assigns to this shard, so the
+    /// tiny assignment table rides inside the shard checkpoints) and
+    /// truncates its log before replying.
+    Quiesce {
+        /// Barrier reply.
+        reply: Sender<ShardReply>,
+        /// Ids the router assigns to this shard off the rendezvous
+        /// fallback (always empty without a WAL — nothing persists them).
+        pins: Vec<ObjectId>,
+    },
     /// Reply with current stats (no state change).
     Snapshot(Sender<ShardReply>),
     /// Reply with the placements of all live objects, sorted by id.
@@ -92,8 +125,10 @@ pub(crate) enum Command {
     /// barrier that cannot happen, but an online rebalance races ordinary
     /// deletes, and a legitimately deleted object is not an error.
     MigrateOut {
-        /// Objects leaving this shard.
-        ids: Vec<ObjectId>,
+        /// Objects leaving this shard, each with the globally unique
+        /// transfer sequence number the engine assigned (journaled on both
+        /// ends so recovery can pair a transfer's halves).
+        ids: Vec<(ObjectId, u64)>,
         /// Barrier reply: shard state plus the released transfers (each an
         /// `(id, size)` ack, carrying the object's physical bytes and their
         /// checksum when this shard is substrate-backed).
@@ -129,8 +164,22 @@ pub(crate) enum Command {
     /// sorted by id (shards without a substrate reply with an empty list).
     /// A debugging/testing barrier — `O(V)`.
     DumpSubstrate(Sender<crate::ShardBytes>),
-    /// Final barrier: reply with stats + ledger and exit the thread.
-    Finish(Sender<ShardFinal>),
+    /// Fault injection (testing): flip one byte of the lowest-id live
+    /// object's substrate cells, checksum left intact, and reply with the
+    /// damaged id (`None` without a substrate or live objects). The next
+    /// verification scan must fail — and stay failed, since integrity
+    /// violations are sticky.
+    CorruptSubstrate(Sender<Option<ObjectId>>),
+    /// Final barrier: reply with stats + ledger and exit the thread. Like
+    /// `Quiesce`, a WAL'd shard checkpoints (with the same router `pins`)
+    /// before replying, so a cleanly shut down fleet recovers from its
+    /// checkpoints alone.
+    Finish {
+        /// Final reply.
+        reply: Sender<ShardFinal>,
+        /// Ids the router assigns to this shard (empty without a WAL).
+        pins: Vec<ObjectId>,
+    },
 }
 
 /// Worker-thread state.
@@ -140,6 +189,14 @@ pub(crate) struct ShardWorker {
     /// The optional byte-carrying substrate this shard replays into (see
     /// [`crate::substrate`]); `None` keeps the accounting-only fast path.
     substrate: Option<ShardSubstrate>,
+    /// The optional write-ahead log this shard journals into. Records are
+    /// buffered per command and written as one group commit at the command
+    /// boundary — always *before* a barrier reply, so an acked command is
+    /// a durable command.
+    journal: Option<ShardJournal>,
+    /// How many times this worker's state was rebuilt by recovery (0 for a
+    /// freshly spawned worker).
+    recoveries: u64,
     /// First substrate failure, sticky like `first_error`.
     first_substrate_error: Option<String>,
     record_ledger: bool,
@@ -171,11 +228,15 @@ impl ShardWorker {
         realloc: Box<dyn Reallocator + Send>,
         substrate: Option<ShardSubstrate>,
         record_ledger: bool,
+        journal: Option<ShardJournal>,
+        recoveries: u64,
     ) -> Self {
         ShardWorker {
             shard,
             realloc,
             substrate,
+            journal,
+            recoveries,
             first_substrate_error: None,
             record_ledger,
             ledger: Ledger::new(),
@@ -213,11 +274,15 @@ impl ShardWorker {
                     {
                         self.verify_substrate();
                     }
+                    // Group commit: the whole batch's records become one
+                    // durable frame — one fsync per batch, not per op.
+                    self.wal_commit();
                 }
-                Command::Quiesce(reply) => {
+                Command::Quiesce { reply, pins } => {
                     let outcome = self.realloc.quiesce();
                     self.absorb(&outcome);
                     self.verify_substrate_at_barrier();
+                    self.wal_checkpoint(&pins);
                     let _ = reply.send(self.reply());
                 }
                 Command::Snapshot(reply) => {
@@ -229,13 +294,13 @@ impl ShardWorker {
                 }
                 Command::MigrateOut { ids, reply } => {
                     let mut released = Vec::with_capacity(ids.len());
-                    for id in ids {
+                    for (id, xfer) in ids {
                         if !self.live.contains(&id) {
                             // Deleted by serving traffic since the plan was
                             // drawn (online mode only) — nothing to re-home.
                             continue;
                         }
-                        if let Some(transfer) = self.migrate_out(id) {
+                        if let Some(transfer) = self.migrate_out(id, xfer) {
                             released.push(transfer);
                         }
                     }
@@ -244,6 +309,11 @@ impl ShardWorker {
                     // re-inserts them on their target shards.
                     let outcome = self.realloc.quiesce();
                     self.absorb(&outcome);
+                    // Ordered commit, source half: the `MigrateOut` records
+                    // are durable *before* the ack reaches the engine, so
+                    // no transfer can arrive anywhere whose departure a
+                    // crash could un-write.
+                    self.wal_commit();
                     let _ = reply.send((self.reply(), released));
                 }
                 Command::MigrateIn { objects, reply } => {
@@ -254,6 +324,12 @@ impl ShardWorker {
                             adopted.push(id);
                         }
                     }
+                    // Ordered commit, target half: `MigrateIn` and its
+                    // `RouteFlip` share this frame, so a recovered fleet
+                    // never sees an adopted object without its flip (or
+                    // vice versa) — the id is live on exactly one shard
+                    // after replay, whichever instant the crash hit.
+                    self.wal_commit();
                     let _ = reply.send((self.reply(), adopted));
                 }
                 Command::Defrag { eps, reply } => {
@@ -270,12 +346,20 @@ impl ShardWorker {
                         .unwrap_or_default();
                     let _ = reply.send(dump);
                 }
-                Command::Finish(reply) => {
+                Command::CorruptSubstrate(reply) => {
+                    let _ = reply.send(
+                        self.substrate
+                            .as_mut()
+                            .and_then(|s| s.corrupt_first_object()),
+                    );
+                }
+                Command::Finish { reply, pins } => {
                     // The final scan runs at every cadence (including
                     // `Final`, whose whole point it is).
                     if self.substrate.is_some() {
                         self.verify_substrate();
                     }
+                    self.wal_checkpoint(&pins);
                     let _ = reply.send(ShardFinal {
                         stats: self.snapshot(),
                         ledger: self.ledger,
@@ -330,7 +414,137 @@ impl ShardWorker {
     /// pattern (see [`ShardWorker::migrate_in`]).
     fn absorb(&mut self, outcome: &Outcome) {
         self.note_moves(outcome);
+        self.journal_ops(&outcome.ops);
         self.replay_ops(&outcome.ops);
+    }
+
+    /// Appends one WAL record per physical op to the journal's pending
+    /// buffer. Nothing hits disk here — the records become durable at the
+    /// next [`ShardWorker::wal_commit`] (a batch boundary or a barrier),
+    /// which is what makes the append a *group* commit.
+    ///
+    /// The log stores digests, not payloads: a live object's bytes are
+    /// always `pattern_for(id, len)` (allocations write the pattern, moves
+    /// and transfers preserve it byte-for-byte), so recovery can regenerate
+    /// content and prove it against the journaled digest.
+    fn journal_ops(&mut self, ops: &[StorageOp]) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        for op in ops {
+            match *op {
+                StorageOp::Allocate { id, to } => journal.writer.append(WalRecord::Allocate {
+                    id,
+                    offset: to.offset,
+                    len: to.len,
+                    digest: checksum(&pattern_for(id, to.len)),
+                }),
+                StorageOp::Move { id, from, to } => journal.writer.append(WalRecord::Move {
+                    id,
+                    from: from.offset,
+                    to: to.offset,
+                    len: to.len,
+                }),
+                StorageOp::Free { id, at } => journal.writer.append(WalRecord::Free {
+                    id,
+                    offset: at.offset,
+                    len: at.len,
+                }),
+                StorageOp::CheckpointBarrier => {}
+            }
+        }
+    }
+
+    /// Flushes the journal's pending records as one checksummed frame (the
+    /// group commit). A write failure is sticky, surfacing through the same
+    /// channel as substrate violations — a shard that cannot promise
+    /// durability must not keep acking as if it could.
+    fn wal_commit(&mut self) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.writer.commit() {
+            self.first_substrate_error
+                .get_or_insert(format!("wal commit: {e}"));
+        }
+    }
+
+    /// Checkpoint-then-truncate: persists the full live layout (plus which
+    /// ids the router explicitly pins here) at `epoch + 1`, then discards
+    /// the log prefix that checkpoint subsumes. The order is crash-safe —
+    /// a kill between the atomic checkpoint rename and the truncate leaves
+    /// stale frames whose epoch predates the checkpoint, and replay skips
+    /// them.
+    fn wal_checkpoint(&mut self, pins: &[ObjectId]) {
+        if self.journal.is_none() {
+            return;
+        }
+        self.wal_commit();
+        let pinned: HashSet<ObjectId> = pins.iter().copied().collect();
+        let entries = self
+            .live_extents()
+            .into_iter()
+            .map(|(id, e)| CheckpointEntry {
+                id,
+                offset: e.offset,
+                len: e.len,
+                digest: checksum(&pattern_for(id, e.len)),
+                assigned: pinned.contains(&id),
+            })
+            .collect();
+        let journal = self.journal.as_mut().expect("checked above");
+        let epoch = journal.writer.epoch() + 1;
+        let result = write_checkpoint(&journal.ckpt, &Checkpoint { epoch, entries })
+            .and_then(|()| journal.writer.truncate_to_epoch(epoch));
+        if let Err(e) = result {
+            self.first_substrate_error
+                .get_or_insert(format!("wal checkpoint: {e}"));
+        }
+    }
+
+    /// Journals a migrate-in outcome: the arriving object's `Allocate`
+    /// becomes a `MigrateIn` carrying the payload's checksum and the
+    /// transfer's sequence number, and the record is chased by a
+    /// `RouteFlip` in the *same* pending group — so the two are committed
+    /// (and survive a crash) atomically. Side-effect ops from the insert
+    /// (flush moves) journal normally.
+    fn journal_arrival(
+        &mut self,
+        ops: &[StorageOp],
+        arriving: ObjectId,
+        payload: Option<&TransferPayload>,
+        xfer: u64,
+    ) {
+        if self.journal.is_none() {
+            return;
+        }
+        for op in ops {
+            match *op {
+                StorageOp::Allocate { id, to } if id == arriving => {
+                    let digest =
+                        payload.map_or_else(|| checksum(&pattern_for(id, to.len)), |p| p.checksum);
+                    self.journal.as_mut().expect("checked above").writer.append(
+                        WalRecord::MigrateIn {
+                            id,
+                            offset: to.offset,
+                            len: to.len,
+                            digest,
+                            xfer,
+                        },
+                    );
+                }
+                _ => self.journal_ops(std::slice::from_ref(op)),
+            }
+        }
+        self.journal
+            .as_mut()
+            .expect("checked above")
+            .writer
+            .append(WalRecord::RouteFlip {
+                id: arriving,
+                shard: self.shard as u64,
+                xfer,
+            });
     }
 
     /// Replays physical ops into the substrate, remembering the first
@@ -442,7 +656,7 @@ impl ShardWorker {
     /// transfer — carrying the object's physical bytes and checksum when
     /// this shard is substrate-backed — or `None` if the reallocator
     /// refused to let go.
-    fn migrate_out(&mut self, id: ObjectId) -> Option<Transfer> {
+    fn migrate_out(&mut self, id: ObjectId, xfer: u64) -> Option<Transfer> {
         let size = self.realloc.extent_of(id).map_or(0, |e| e.len);
         // Read the departing bytes *before* the delete frees the extent.
         let payload = self.substrate.as_mut().and_then(|s| s.release(id));
@@ -450,6 +664,15 @@ impl ShardWorker {
             Ok(outcome) => {
                 self.live.remove(&id);
                 self.absorb(&outcome);
+                // The departure is journaled under the transfer's sequence
+                // number so recovery can pair it with the target's
+                // `MigrateIn` — an unpaired departure means the object died
+                // in flight and must be resurrected here.
+                if let Some(journal) = self.journal.as_mut() {
+                    journal
+                        .writer
+                        .append(WalRecord::MigrateOut { id, size, xfer });
+                }
                 self.migrations_out += 1;
                 self.migrated_volume_out += size;
                 // Count the physical copy-out only now that the object has
@@ -472,7 +695,12 @@ impl ShardWorker {
                         delta_after: self.realloc.max_object_size(),
                     });
                 }
-                Some(Transfer { id, size, payload })
+                Some(Transfer {
+                    id,
+                    size,
+                    xfer,
+                    payload,
+                })
             }
             Err(error) => {
                 self.note_migration_error(error);
@@ -494,7 +722,12 @@ impl ShardWorker {
     /// fresh pattern — so the migration is byte-faithful end to end.
     /// Returns whether the object was adopted.
     fn migrate_in(&mut self, transfer: Transfer) -> bool {
-        let Transfer { id, size, payload } = transfer;
+        let Transfer {
+            id,
+            size,
+            xfer,
+            payload,
+        } = transfer;
         if let (Some(_), Some(payload)) = (self.substrate.as_ref(), payload.as_ref()) {
             if !ShardSubstrate::payload_intact(payload, size) {
                 self.note_migration_error(ReallocError::CorruptTransfer(id));
@@ -504,6 +737,7 @@ impl ShardWorker {
         match self.realloc.insert(id, size) {
             Ok(outcome) => {
                 self.live.insert(id);
+                self.journal_arrival(&outcome.ops, id, payload.as_ref(), xfer);
                 self.replay_arrival(&outcome.ops, id, payload.as_ref());
                 self.note_moves(&outcome);
                 self.moves += 1;
@@ -650,6 +884,10 @@ impl ShardWorker {
             substrate_bytes_in: self.substrate.as_ref().map_or(0, |s| s.bytes_migrated_in),
             substrate_bytes_out: self.substrate.as_ref().map_or(0, |s| s.bytes_migrated_out),
             substrate_verifications: self.substrate.as_ref().map_or(0, |s| s.verifications),
+            wal_records: self.journal.as_ref().map_or(0, |j| j.writer.records()),
+            wal_bytes: self.journal.as_ref().map_or(0, |j| j.writer.bytes()),
+            group_commits: self.journal.as_ref().map_or(0, |j| j.writer.commits()),
+            recoveries: self.recoveries,
             max_settled_ratio: self.max_settled_ratio,
         }
     }

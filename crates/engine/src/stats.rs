@@ -58,6 +58,21 @@ pub struct ShardStats {
     pub substrate_bytes_out: u64,
     /// Full extent + byte verification scans this shard has run.
     pub substrate_verifications: u64,
+    /// WAL records committed by this shard (one per applied physical op,
+    /// transfer half, or route flip). Zero without a WAL.
+    pub wal_records: u64,
+    /// Frame bytes this shard's WAL has written (headers included).
+    pub wal_bytes: u64,
+    /// Group commits (framed fsyncs) this shard's WAL has performed — the
+    /// commit-coalescing counter: `wal_records / group_commits` is the
+    /// batch's amortization factor, and
+    /// [`DeviceModel::time_of_commit`](storage_sim::DeviceModel::time_of_commit)
+    /// prices the schedule.
+    pub group_commits: u64,
+    /// How many times this worker's state was rebuilt by
+    /// [`Engine::recover`](crate::Engine::recover) (0 for a worker that
+    /// never crashed).
+    pub recoveries: u64,
     /// Max over requests of `structure_after / volume_after` (the ledger's
     /// settled-space competitive ratio for this shard).
     pub max_settled_ratio: f64,
@@ -234,6 +249,34 @@ impl EngineStats {
             .sum()
     }
 
+    /// Total WAL records committed across shards. Zero without a WAL.
+    pub fn wal_records(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.wal_records).sum()
+    }
+
+    /// Total WAL frame bytes written across shards.
+    pub fn wal_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.wal_bytes).sum()
+    }
+
+    /// Total group commits (framed fsyncs) across shards. With group
+    /// commit, many records share one frame:
+    /// `wal_records() / group_commits()` is the fleet's amortization
+    /// factor.
+    pub fn group_commits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.group_commits).sum()
+    }
+
+    /// How many times the fleet has been recovered (max over shards: every
+    /// shard of a recovered fleet carries the same count).
+    pub fn recoveries(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.recoveries)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The worst per-shard settled-space ratio — the aggregate's effective
     /// footprint competitive ratio, since `Σ structure_i ≤ (max_i a_i)·Σ V_i`.
     pub fn worst_settled_ratio(&self) -> f64 {
@@ -283,6 +326,10 @@ mod tests {
             substrate_bytes_in: 0,
             substrate_bytes_out: 0,
             substrate_verifications: 0,
+            wal_records: 0,
+            wal_bytes: 0,
+            group_commits: 0,
+            recoveries: 0,
             max_settled_ratio: structure as f64 / volume as f64,
         }
     }
@@ -366,5 +413,27 @@ mod tests {
         assert_eq!(stats.bytes_migrated_in(), 30);
         assert_eq!(stats.bytes_migrated_out(), 30);
         assert_eq!(stats.substrate_verifications(), 4);
+    }
+
+    #[test]
+    fn wal_counters_sum_and_recoveries_take_the_max() {
+        let mut a = shard(0, 100, 140, 32);
+        a.wal_records = 12;
+        a.wal_bytes = 400;
+        a.group_commits = 3;
+        a.recoveries = 1;
+        let mut b = shard(1, 50, 60, 64);
+        b.wal_records = 4;
+        b.wal_bytes = 120;
+        b.group_commits = 2;
+        b.recoveries = 1;
+        let stats = EngineStats {
+            per_shard: vec![a, b],
+        };
+        assert_eq!(stats.wal_records(), 16);
+        assert_eq!(stats.wal_bytes(), 520);
+        assert_eq!(stats.group_commits(), 5);
+        // One fleet recovery shows as 1, not shards × 1.
+        assert_eq!(stats.recoveries(), 1);
     }
 }

@@ -193,6 +193,12 @@ pub(crate) struct TransferPayload {
 pub(crate) struct Transfer {
     pub id: ObjectId,
     pub size: u64,
+    /// Globally unique transfer sequence number, assigned by the engine
+    /// when the plan is dispatched. The WAL journals it on both ends
+    /// (`MigrateOut` on the source, `MigrateIn` + `RouteFlip` on the
+    /// target), so recovery can pair the halves of a transfer that a crash
+    /// cut in two.
+    pub xfer: u64,
     /// `Some` iff the source shard runs a substrate.
     pub payload: Option<TransferPayload>,
 }
@@ -301,6 +307,21 @@ impl ShardSubstrate {
             ));
         }
         self.store.verify_all()
+    }
+
+    /// Fault injection (testing): flips one byte of the lowest-id live
+    /// object's cells, checksum left intact, so the next verification
+    /// scan must fail. Returns the damaged id, or `None` for an empty
+    /// store. See [`Engine::inject_substrate_corruption`](crate::Engine::inject_substrate_corruption).
+    pub fn corrupt_first_object(&mut self) -> Option<ObjectId> {
+        let id = self
+            .store
+            .rules()
+            .live_spans()
+            .into_iter()
+            .map(|(_, id)| id)
+            .min()?;
+        self.store.corrupt_object(id).then_some(id)
     }
 
     /// Live object bytes, sorted by id (the

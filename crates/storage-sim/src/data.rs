@@ -263,6 +263,22 @@ impl DataStore {
         Ok(())
     }
 
+    /// Fault injection (testing): flips one byte of a live object's cells
+    /// *without* touching its registered checksum, so the next
+    /// verification of the object fails. Returns whether the object was
+    /// live (nothing is corrupted otherwise). This models silent media
+    /// corruption — the rule-level state stays consistent; only the bytes
+    /// lie.
+    pub fn corrupt_object(&mut self, id: ObjectId) -> bool {
+        match self.rules.extent_of(id) {
+            Some(ext) if ext.len > 0 => {
+                self.cells[ext.offset as usize] ^= 0x01;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Simulates a crash: for every object in the durable translation map,
     /// recompute the checksum of the bytes at the *mapped* address. This is
     /// stronger than [`SimStore::crash_and_recover`]: it detects a stale map

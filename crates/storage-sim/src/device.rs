@@ -44,6 +44,17 @@ impl DeviceModel {
     pub fn time_of_stream(&self, ops: &[StorageOp]) -> f64 {
         ops.iter().map(|op| self.time_of(op)).sum()
     }
+
+    /// Simulated time for one WAL group commit of `frame_bytes` bytes: the
+    /// transfer cost of the frame plus the fixed sync latency (the same
+    /// fixed term a checkpoint pays — an fsync is a tiny checkpoint). This
+    /// is how a run converts `wal_bytes` / `group_commits` counters into
+    /// device time: `commits · time_of_commit(bytes / commits)` prices the
+    /// coalesced schedule, `records · time_of_commit(record_size)` what
+    /// per-op syncing would have cost.
+    pub fn time_of_commit(&self, frame_bytes: u64) -> f64 {
+        self.cost.cost(frame_bytes) + self.checkpoint_latency
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +85,18 @@ mod tests {
         assert_eq!(dev.time_of(&f), 0.0);
         assert_eq!(dev.time_of(&c), 100.0);
         assert_eq!(dev.time_of_stream(&[a, m, f, c]), 130.0);
+    }
+
+    #[test]
+    fn group_commit_amortizes_the_sync_latency() {
+        // Affine disk: seek 10 + 1/byte; sync latency 100. One coalesced
+        // 64-byte commit beats 8 separate 8-byte commits by ~7 syncs.
+        let dev = DeviceModel::new(Box::new(Affine::disk(10.0, 1.0)), 100.0);
+        let grouped = dev.time_of_commit(64);
+        let per_op = 8.0 * dev.time_of_commit(8);
+        assert_eq!(grouped, 174.0);
+        assert_eq!(per_op, 944.0);
+        assert!(grouped < per_op);
     }
 
     #[test]

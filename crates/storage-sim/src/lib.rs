@@ -29,7 +29,12 @@
 pub mod data;
 pub mod device;
 pub mod store;
+pub mod wal;
 
 pub use data::{checksum, pattern_for, transfer_checksum, DataRecoveryReport, DataStore};
 pub use device::DeviceModel;
 pub use store::{AddressWindow, Mode, RecoveryReport, SimStore, SpanState, Violation};
+pub use wal::{
+    read_checkpoint, read_wal, write_checkpoint, Checkpoint, CheckpointEntry, WalGroup, WalRecord,
+    WalWriter,
+};

@@ -52,6 +52,16 @@
 //!                        verified. rules: relaxed (default; any variant) or
 //!                        strict (§3.1 database rules; checkpointed/deamortized
 //!                        only — §2 legitimately violates them)
+//!   --wal-dir <dir>      durability: every shard journals each physical op
+//!                        and route flip to its own write-ahead log under
+//!                        <dir>, group-committing once per served batch;
+//!                        quiesce barriers checkpoint the live layout and
+//!                        truncate the log. Needs --router table (recovery
+//!                        re-derives the id → shard table from ownership)
+//!   --crash-after <n>    with --wal-dir: simulate kill -9 after n requests,
+//!                        rebuild the fleet with Engine::recover, print the
+//!                        recovery report, and keep serving the rest of the
+//!                        workload on the recovered fleet
 //!   --verify-cadence <c> when each shard runs its full O(V) extent + byte
 //!                        scan (per-write rule checks are always on):
 //!                          final   — once, before shutdown: cheapest, but a
@@ -114,6 +124,8 @@ struct Args {
     defrag: bool,
     substrate: Option<Mode>,
     cadence: Option<VerifyCadence>,
+    wal_dir: Option<String>,
+    crash_after: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -140,6 +152,8 @@ fn parse_args() -> Result<Args, String> {
         defrag: false,
         substrate: None,
         cadence: None,
+        wal_dir: None,
+        crash_after: None,
     };
     let engine_mode = args.algorithm == "engine";
     let mut crash = false;
@@ -247,6 +261,16 @@ fn parse_args() -> Result<Args, String> {
                     _ => Mode::Relaxed,
                 });
             }
+            "--wal-dir" if engine_mode => args.wal_dir = Some(next("a directory")?),
+            "--crash-after" if engine_mode => {
+                let n: usize = next("a request count")?
+                    .parse()
+                    .map_err(|e| format!("--crash-after: {e}"))?;
+                if n == 0 {
+                    return Err("--crash-after must be positive".into());
+                }
+                args.crash_after = Some(n);
+            }
             "--verify-cadence" if engine_mode => {
                 args.cadence = Some(match next("final, quiesce or batch")?.as_str() {
                     "final" => VerifyCadence::Final,
@@ -284,6 +308,25 @@ fn parse_args() -> Result<Args, String> {
     if args.defrag && args.rebalance_every.is_none() && !args.auto_rebalance {
         return Err("--defrag needs --rebalance-every or --auto-rebalance".into());
     }
+    if args.wal_dir.is_some() && args.router != "table" {
+        return Err(
+            "--wal-dir needs --router table (recovery re-derives the id → shard \
+             table from physical ownership)"
+                .into(),
+        );
+    }
+    if args.crash_after.is_some() && args.wal_dir.is_none() {
+        return Err(
+            "--crash-after needs --wal-dir (a crash without logs is just data loss)".into(),
+        );
+    }
+    if args.crash_after.is_some() && args.resize.is_some() {
+        return Err(
+            "--crash-after cannot be combined with --resize (recovery needs the \
+             shard count that wrote the logs)"
+                .into(),
+        );
+    }
     if args.cadence.is_some() && args.substrate.is_none() {
         return Err(
             "--verify-cadence modifies --substrate (without a substrate there is nothing to verify)"
@@ -303,10 +346,159 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn print_rebalance(served: usize, report: &RebalanceReport) {
+    println!(
+        "rebalance @{served:>8} ({} mode, {} batch{}): imbalance {:.2} -> {:.2}, \
+         {} objects / {} cells migrated{}",
+        report.mode,
+        report.batches,
+        if report.batches == 1 { "" } else { "es" },
+        report.before.imbalance_ratio(),
+        report.after.imbalance_ratio(),
+        report.migrated_objects,
+        report.migrated_volume,
+        if report.defrag.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", defrag {} moves",
+                report.defrag.iter().map(|d| d.total_moves).sum::<u64>()
+            )
+        }
+    );
+}
+
+/// Everything `serve_span` needs besides the engine and the requests.
+struct ServePlan<'a> {
+    args: &'a Args,
+    chunk_size: usize,
+    midpoint: usize,
+    rebalance_opts: RebalanceOptions,
+}
+
+/// Serves one contiguous span of the workload, firing the configured
+/// rebalance cadence (fixed, online, or policy-driven) and the midpoint
+/// resize along the way. `served`/`resized` persist across spans so a
+/// crash-and-recover run keeps its cadence bookkeeping.
+fn serve_span(
+    engine: &mut Engine,
+    requests: &[Request],
+    plan: &ServePlan,
+    served: &mut usize,
+    resized: &mut bool,
+) -> Result<(), EngineError> {
+    let args = plan.args;
+    for chunk in requests.chunks(plan.chunk_size.max(1)) {
+        engine.drive(&Workload::new("chunk", chunk.to_vec()))?;
+        *served += chunk.len();
+        if args.auto_rebalance {
+            let was_active = engine.rebalance_active();
+            engine.snapshot()?; // the policy observes at this barrier
+            if !was_active && engine.rebalance_active() {
+                println!("policy    @{:>8}: fired, online session started", *served);
+            }
+        } else if args.rebalance_every.is_some() {
+            if args.online {
+                if !engine.rebalance_active() {
+                    engine.rebalance_online(plan.rebalance_opts)?;
+                }
+            } else {
+                let report = engine.rebalance(plan.rebalance_opts)?;
+                print_rebalance(*served, &report);
+            }
+        }
+        // Online sessions (fixed-cadence or policy-fired) complete
+        // inside serving calls; their reports are claimed here.
+        if let Some(report) = engine.take_rebalance_report() {
+            print_rebalance(*served, &report);
+        }
+        if !*resized && *served >= plan.midpoint {
+            *resized = true;
+            let to = args.resize.expect("checked");
+            let factory = |_shard: usize| {
+                make_algorithm(&args.variant, args.eps).expect("variant validated above")
+            };
+            let report = engine.resize_shards(to, factory)?;
+            println!(
+                "resize    @{:>8}: {} -> {} shards, {} objects / {} cells migrated",
+                *served, report.from, report.to, report.migrated_objects, report.migrated_volume
+            );
+            if let Some(report) = engine.take_rebalance_report() {
+                print_rebalance(*served, &report);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drives the whole workload: serve, optionally crash at `--crash-after`
+/// and recover from the write-ahead logs, keep serving, then drain any
+/// open rebalance session and quiesce. Returns the (possibly recovered)
+/// engine for the final stats pass.
+fn drive_workload(
+    mut engine: Engine,
+    workload: &Workload,
+    config: EngineConfig,
+    plan: &ServePlan,
+) -> Result<Engine, EngineError> {
+    let args = plan.args;
+    let mut served = 0usize;
+    let mut resized = args.resize.is_none();
+    let crash_at = args.crash_after.map(|n| n.min(workload.len()));
+    let (head, tail) = workload
+        .requests
+        .split_at(crash_at.unwrap_or(workload.len()));
+    serve_span(&mut engine, head, plan, &mut served, &mut resized)?;
+    if crash_at.is_some() {
+        let dir = args
+            .wal_dir
+            .as_ref()
+            .expect("--crash-after implies --wal-dir");
+        engine.crash();
+        println!("crash     @{served:>8}: simulated kill -9, recovering from {dir}");
+        let factory = |_shard: usize| {
+            make_algorithm(&args.variant, args.eps).expect("variant validated above")
+        };
+        let (rebuilt, report) = Engine::recover(config, dir, factory)?;
+        engine = rebuilt;
+        println!(
+            "recovered @{served:>8}: {} objects / {} cells ({} from checkpoints, \
+             {} records replayed in {} groups); {} resurrected, {} duplicates \
+             dropped, {} route assignments",
+            report.objects,
+            report.volume,
+            report.checkpoint_objects,
+            report.replayed_records,
+            report.replayed_groups,
+            report.resurrected.len(),
+            report.dropped_duplicates.len(),
+            report.route_assignments,
+        );
+        if args.auto_rebalance {
+            // The policy lives in the crashed driver; reinstall it on the
+            // recovered fleet.
+            engine.set_auto_rebalance(
+                RebalancePolicy::new(args.tau, args.policy_k, args.hysteresis),
+                plan.rebalance_opts,
+            );
+        }
+        serve_span(&mut engine, tail, plan, &mut served, &mut resized)?;
+    }
+    // Don't let the policy fire into the closing barriers; drain any
+    // session that is still migrating.
+    engine.clear_auto_rebalance();
+    while engine.rebalance_step()? {}
+    if let Some(report) = engine.take_rebalance_report() {
+        print_rebalance(workload.len(), &report);
+    }
+    engine.quiesce()?;
+    Ok(engine)
+}
+
 /// `realloc-sim engine`: serve the workload through the sharded engine
-/// (optionally rebalancing and/or resizing along the way) and print the
-/// per-shard stats table, the aggregate row, and cost ratios priced over
-/// the union of the shard ledgers.
+/// (optionally rebalancing, resizing, and/or crash-recovering along the
+/// way) and print the per-shard stats table, the aggregate row, and cost
+/// ratios priced over the union of the shard ledgers.
 fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     if make_algorithm(&args.variant, args.eps).is_none() {
         eprintln!("error: unknown engine variant {:?}", args.variant);
@@ -326,9 +518,26 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     };
     let factory =
         |_shard: usize| make_algorithm(&args.variant, args.eps).expect("variant validated above");
-    let mut engine = match args.router.as_str() {
-        "table" => Engine::with_router(config, Box::new(TableRouter::new(args.shards)), factory),
-        _ => Engine::new(config, factory),
+    let mut engine = if let Some(dir) = &args.wal_dir {
+        match Engine::with_wal(
+            config,
+            Box::new(TableRouter::new(args.shards)),
+            factory,
+            dir,
+        ) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("error: cannot open write-ahead logs under {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match args.router.as_str() {
+            "table" => {
+                Engine::with_router(config, Box::new(TableRouter::new(args.shards)), factory)
+            }
+            _ => Engine::new(config, factory),
+        }
     };
     println!("workload:  {} ({} requests)", workload.name, workload.len());
     println!(
@@ -348,6 +557,15 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             },
             s.window_span,
             s.verify
+        );
+    }
+    if let Some(dir) = &args.wal_dir {
+        println!(
+            "wal:       one log per shard under {dir}, group commit per served batch{}",
+            match args.crash_after {
+                Some(n) => format!("; kill -9 scheduled after {n} requests"),
+                None => String::new(),
+            }
         );
     }
 
@@ -381,82 +599,20 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     } else {
         workload.len().max(1)
     };
-    let print_report = |served: usize, report: &RebalanceReport| {
-        println!(
-            "rebalance @{served:>8} ({} mode, {} batch{}): imbalance {:.2} -> {:.2}, \
-             {} objects / {} cells migrated{}",
-            report.mode,
-            report.batches,
-            if report.batches == 1 { "" } else { "es" },
-            report.before.imbalance_ratio(),
-            report.after.imbalance_ratio(),
-            report.migrated_objects,
-            report.migrated_volume,
-            if report.defrag.is_empty() {
-                String::new()
-            } else {
-                format!(
-                    ", defrag {} moves",
-                    report.defrag.iter().map(|d| d.total_moves).sum::<u64>()
-                )
-            }
-        );
+    let plan = ServePlan {
+        args,
+        chunk_size,
+        midpoint,
+        rebalance_opts,
     };
-
     let start = std::time::Instant::now();
-    let run = (|| -> Result<(), EngineError> {
-        let mut served = 0usize;
-        let mut resized = args.resize.is_none();
-        for chunk in workload.requests.chunks(chunk_size.max(1)) {
-            engine.drive(&Workload::new("chunk", chunk.to_vec()))?;
-            served += chunk.len();
-            if args.auto_rebalance {
-                let was_active = engine.rebalance_active();
-                engine.snapshot()?; // the policy observes at this barrier
-                if !was_active && engine.rebalance_active() {
-                    println!("policy    @{served:>8}: fired, online session started");
-                }
-            } else if args.rebalance_every.is_some() {
-                if args.online {
-                    if !engine.rebalance_active() {
-                        engine.rebalance_online(rebalance_opts)?;
-                    }
-                } else {
-                    let report = engine.rebalance(rebalance_opts)?;
-                    print_report(served, &report);
-                }
-            }
-            // Online sessions (fixed-cadence or policy-fired) complete
-            // inside serving calls; their reports are claimed here.
-            if let Some(report) = engine.take_rebalance_report() {
-                print_report(served, &report);
-            }
-            if !resized && served >= midpoint {
-                resized = true;
-                let to = args.resize.expect("checked");
-                let report = engine.resize_shards(to, factory)?;
-                println!(
-                    "resize    @{served:>8}: {} -> {} shards, {} objects / {} cells migrated",
-                    report.from, report.to, report.migrated_objects, report.migrated_volume
-                );
-                if let Some(report) = engine.take_rebalance_report() {
-                    print_report(served, &report);
-                }
-            }
+    let mut engine = match drive_workload(engine, workload, config, &plan) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("engine run failed: {e}");
+            return ExitCode::FAILURE;
         }
-        // Don't let the policy fire into the closing barriers; drain any
-        // session that is still migrating.
-        engine.clear_auto_rebalance();
-        while engine.rebalance_step()? {}
-        if let Some(report) = engine.take_rebalance_report() {
-            print_report(workload.len(), &report);
-        }
-        engine.quiesce().map(|_| ())
-    })();
-    if let Err(e) = run {
-        eprintln!("engine run failed: {e}");
-        return ExitCode::FAILURE;
-    }
+    };
     // The final explicit verification scan (the only one a `final` cadence
     // ever runs before shutdown): extents against the reallocator, every
     // live object's bytes re-checksummed, per shard.
@@ -574,6 +730,15 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         stats.max_shard_volume(),
         stats.mean_shard_volume()
     );
+    if args.wal_dir.is_some() {
+        println!(
+            "durability: {} wal records / {} bytes in {} group commits; recoveries: {}",
+            fmt_u64(stats.wal_records()),
+            fmt_u64(stats.wal_bytes()),
+            fmt_u64(stats.group_commits()),
+            stats.recoveries(),
+        );
+    }
     if let Some(reports) = &substrate_reports {
         println!("\n-- substrate (per-shard byte stores over disjoint windows) --");
         for r in reports {
@@ -633,7 +798,7 @@ fn main() -> ExitCode {
                  \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
                  \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
                  \x20                         [--resize n] [--defrag] [--substrate [relaxed|strict]] [--verify-cadence final|quiesce|batch]\n\
-                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
+                 \x20                         [--wal-dir dir [--crash-after n]] [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
                  \x20      (--rebalance-every alone quiesces the whole fleet per rebalance; --online or\n\
                  \x20       --auto-rebalance migrate in bounded batches interleaved with serving;\n\
                  \x20       --substrate backs each shard with a byte store over its own address window —\n\

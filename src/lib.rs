@@ -63,8 +63,8 @@ pub mod prelude {
     pub use crate::cost::{standard_suite, CostFn};
     pub use crate::engine::{
         DefragSummary, Engine, EngineConfig, EngineError, EngineStats, OnlinePlan, RebalanceMode,
-        RebalanceOptions, RebalancePolicy, RebalanceReport, ResizeReport, ShardStats,
-        SubstrateConfig, SubstrateReport, VerifyCadence,
+        RebalanceOptions, RebalancePolicy, RebalanceReport, RecoveryReport, ResizeReport,
+        ShardStats, SubstrateConfig, SubstrateReport, VerifyCadence,
     };
     pub use crate::harness::{run_workload, RunConfig, RunResult};
     pub use crate::sim::{checksum, pattern_for, AddressWindow, DataStore, Mode, SimStore};
