@@ -33,7 +33,7 @@ pub enum OpKind {
 }
 
 /// Ledger entry for one request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
     /// Which request produced this record.
     pub kind: OpKind,

@@ -7,8 +7,10 @@ use std::sync::mpsc::{self, SyncSender};
 use std::thread::JoinHandle;
 
 use realloc_common::{BoxedReallocator, Extent, HashRouter, ObjectId, ReallocError, Router};
+use realloc_telemetry::{EventJournal, Histogram};
 use workload_gen::{Request, Workload};
 
+use crate::metrics::{DeviceProfile, MetricsSnapshot, ShardTelemetry};
 use crate::rebalance::{
     plan_rebalance, Migration, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy,
     RebalanceReport, ResizeReport,
@@ -47,6 +49,16 @@ pub struct EngineConfig {
     /// configured cadence. `None` (the default) keeps the accounting-only
     /// fast path.
     pub substrate: Option<SubstrateConfig>,
+    /// Record the observability surface ([`Engine::metrics`]): per-shard
+    /// latency/stall/commit histograms, the structural event journal, and —
+    /// with a [`device`](Self::device) — simulated device time. On by
+    /// default; [`without_telemetry`](Self::without_telemetry) turns it off
+    /// for overhead-sensitive runs (scrapes then return zeroed metrics).
+    pub telemetry: bool,
+    /// Price every shard's physical op stream against this simulated
+    /// device ([`DeviceProfile::build`] runs inside each worker thread).
+    /// `None` (the default) records counts and wall-clock only.
+    pub device: Option<DeviceProfile>,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +69,8 @@ impl Default for EngineConfig {
             queue_depth: 4,
             record_ledger: true,
             substrate: None,
+            telemetry: true,
+            device: None,
         }
     }
 }
@@ -83,6 +97,18 @@ impl EngineConfig {
     /// This configuration with per-shard substrates enabled.
     pub fn with_substrate(mut self, substrate: SubstrateConfig) -> Self {
         self.substrate = Some(substrate);
+        self
+    }
+
+    /// This configuration with telemetry recording disabled.
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = false;
+        self
+    }
+
+    /// This configuration pricing op streams against `device`.
+    pub fn with_device(mut self, device: DeviceProfile) -> Self {
+        self.device = Some(device);
         self
     }
 }
@@ -313,6 +339,18 @@ pub struct Engine {
     /// target in its `MigrateIn`/`RouteFlip`, so recovery can pair the two
     /// halves of a transfer across independently truncated logs.
     xfer_seq: u64,
+    /// Engine-side intake-stall observations, one histogram per shard: how
+    /// long a send blocked on that shard's full channel. Recorded only when
+    /// `try_send` finds the queue full, so the uncontended path pays no
+    /// clock read. Empty when telemetry is off.
+    stalls: Vec<Histogram>,
+    /// The bounded structural event journal: rebalance/resize spans and
+    /// recovery stages. Scraped (never drained) by [`Engine::metrics`].
+    events: EventJournal,
+    /// Number of completed [`Engine::metrics`] scrapes.
+    scrapes: u64,
+    /// The previous scrape, for [`Engine::metrics_delta`].
+    last_metrics: Option<MetricsSnapshot>,
 }
 
 impl Engine {
@@ -425,6 +463,10 @@ impl Engine {
             corrupt_next_transfer: false,
             wal_dir,
             xfer_seq: 1,
+            stalls: Vec::with_capacity(config.shards),
+            events: EventJournal::new(512),
+            scrapes: 0,
+            last_metrics: None,
         };
         for shard in 0..config.shards {
             engine.spawn_shard(shard, factory(shard), recoveries)?;
@@ -448,6 +490,10 @@ impl Engine {
             ),
             None => None,
         };
+        let telemetry = self
+            .config
+            .telemetry
+            .then(|| ShardTelemetry::new(self.config.device));
         let worker = ShardWorker::new(
             shard,
             realloc,
@@ -455,6 +501,7 @@ impl Engine {
             self.config.record_ledger,
             journal,
             recoveries,
+            telemetry,
         );
         let handle = std::thread::Builder::new()
             .name(format!("realloc-shard-{shard}"))
@@ -463,6 +510,9 @@ impl Engine {
         self.senders.push(tx);
         self.workers.push(handle);
         self.pending.push(Vec::with_capacity(self.config.batch));
+        if self.config.telemetry {
+            self.stalls.push(Histogram::new());
+        }
         Ok(())
     }
 
@@ -475,6 +525,13 @@ impl Engine {
     /// already consumed (recovery only — a fresh engine starts at 1).
     pub(crate) fn set_xfer_seq(&mut self, next: u64) {
         self.xfer_seq = next;
+    }
+
+    /// Replaces the structural event journal (recovery only — the recovery
+    /// stages run before the engine exists, so their spans are recorded
+    /// into a standalone journal and installed here).
+    pub(crate) fn install_events(&mut self, events: EventJournal) {
+        self.events = events;
     }
 
     /// Number of shards.
@@ -535,9 +592,24 @@ impl Engine {
     }
 
     fn send(&self, shard: usize, cmd: Command) -> Result<(), EngineError> {
-        self.senders[shard]
-            .send(cmd)
-            .map_err(|_| EngineError::ShardDown { shard })
+        // Fast path first: only a send that actually finds the queue full
+        // pays a clock read, and only then does the stall histogram get an
+        // observation — so stall count == number of blocked sends.
+        match self.senders[shard].try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(cmd)) => {
+                let stall = self.stalls.get(shard);
+                let started = stall.map(|_| std::time::Instant::now());
+                let result = self.senders[shard]
+                    .send(cmd)
+                    .map_err(|_| EngineError::ShardDown { shard });
+                if let (Some(stall), Some(started)) = (stall, started) {
+                    stall.record(started.elapsed().as_nanos() as u64);
+                }
+                result
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(EngineError::ShardDown { shard }),
+        }
     }
 
     /// Pushes every partially filled batch to its shard. Called implicitly
@@ -694,6 +766,54 @@ impl Engine {
         self.barrier(|_, reply| Command::Extents(reply))
     }
 
+    /// Scrapes the cumulative observability surface (a barrier, like
+    /// [`snapshot`](Engine::snapshot)): aggregate [`EngineStats`], every
+    /// shard's latency/stall/commit histograms and sim-time lanes, and the
+    /// retained tail of the structural event journal.
+    ///
+    /// Unlike the stats barriers, this does **not** surface sticky
+    /// request/substrate errors — a metrics scrape must be able to observe
+    /// a degraded fleet. `Err` here only ever means a shard is down.
+    /// Scraping does not feed the auto-rebalance policy.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, EngineError> {
+        let replies = self.barrier(|_, reply| Command::Metrics(reply))?;
+        let mut per_shard = Vec::with_capacity(replies.len());
+        let mut stats = Vec::with_capacity(replies.len());
+        for (reply, mut metrics) in replies {
+            if let Some(stall) = self.stalls.get(metrics.shard) {
+                metrics.intake_stall_ns = stall.snapshot();
+            }
+            stats.push(reply.stats);
+            per_shard.push(metrics);
+        }
+        self.scrapes += 1;
+        let snapshot = MetricsSnapshot {
+            scrape: self.scrapes,
+            device: self.config.device.filter(|_| self.config.telemetry),
+            stats: EngineStats { per_shard: stats },
+            per_shard,
+            events: self.events.snapshot(),
+            events_dropped: self.events.dropped(),
+        };
+        self.last_metrics = Some(snapshot.clone());
+        Ok(snapshot)
+    }
+
+    /// [`metrics`](Engine::metrics), reported as the change since the
+    /// previous scrape: counters, histograms, and sim time subtract; gauges
+    /// keep their current values (see [`MetricsSnapshot::delta_since`]).
+    /// The first scrape — and any scrape after a
+    /// [`resize`](Engine::resize_shards) adds shards — reports full values
+    /// for shards with no prior reading.
+    pub fn metrics_delta(&mut self) -> Result<MetricsSnapshot, EngineError> {
+        let prev = self.last_metrics.take();
+        let current = self.metrics()?;
+        Ok(match prev {
+            Some(prev) => current.delta_since(&prev),
+            None => current,
+        })
+    }
+
     /// Whether every shard runs a byte-carrying substrate
     /// ([`EngineConfig::substrate`]).
     pub fn substrate_enabled(&self) -> bool {
@@ -833,6 +953,8 @@ impl Engine {
         Self::validate_defrag_eps(&opts);
         while self.step_session()? {}
         let (before, plan) = self.plan_migrations(true)?;
+        self.events
+            .begin(None, "rebalance.barrier", plan.len() as u64);
         let outcome = self.migrate(&plan)?;
         // The routing-table update is atomic with respect to serving: the
         // engine is quiesced, so no request can observe a half-applied map.
@@ -849,6 +971,7 @@ impl Engine {
             None => Vec::new(),
         };
         let after = self.quiesce_inner()?;
+        self.events.end(None, "rebalance.barrier", migrated_volume);
         Ok(RebalanceReport {
             before,
             after,
@@ -953,6 +1076,8 @@ impl Engine {
             migrated_objects: 0,
             migrated_volume: 0,
         });
+        self.events
+            .begin(None, "rebalance.session", summary.objects);
         Ok(summary)
     }
 
@@ -1013,6 +1138,9 @@ impl Engine {
             for shard in sources {
                 self.flush_shard(shard)?;
             }
+            // One span per freeze → copy → flip → resume round.
+            self.events
+                .begin(None, "rebalance.batch", batch.len() as u64);
             let outcome = self.migrate(&batch)?;
             for &(id, _, to) in &outcome.completed {
                 self.router.assign(id, to);
@@ -1021,11 +1149,15 @@ impl Engine {
             let (objects, volume) = outcome.totals();
             session.migrated_objects += objects;
             session.migrated_volume += volume;
+            self.events.end(None, "rebalance.batch", volume);
             if let Err(err) = outcome.surface() {
                 // Abort: the session is not restored, so the remaining
                 // plan is dropped with routing consistent. Back the policy
                 // off so it does not immediately re-fire into a broken
-                // fleet.
+                // fleet. The session span stays unmatched; the abort event
+                // carries what was left undone.
+                self.events
+                    .instant(None, "rebalance.abort", session.plan.len() as u64);
                 if let Some((policy, _)) = &mut self.auto {
                     policy.note_rebalanced();
                 }
@@ -1041,6 +1173,8 @@ impl Engine {
             None => Vec::new(),
         };
         let after = self.snapshot_inner()?;
+        self.events
+            .end(None, "rebalance.session", session.migrated_volume);
         self.finished = Some(RebalanceReport {
             before: session.before,
             after,
@@ -1137,6 +1271,7 @@ impl Engine {
                 migrated_volume: 0,
             });
         }
+        self.events.begin(None, "resize", shards as u64);
         let extents = self.extents()?;
         let mut plan = Vec::new();
         for (shard, list) in extents.iter().enumerate() {
@@ -1215,10 +1350,12 @@ impl Engine {
             if let Some(worker) = self.workers.pop() {
                 let _ = worker.join();
             }
+            self.stalls.pop();
             let leftover = self.pending.pop();
             debug_assert!(leftover.is_none_or(|p| p.is_empty()));
         }
         self.config.shards = shards;
+        self.events.end(None, "resize", migrated_volume);
         Ok(ResizeReport {
             from,
             to: shards,

@@ -107,6 +107,7 @@
 //! error and keep serving.
 
 pub mod engine;
+pub mod metrics;
 pub mod rebalance;
 pub mod recover;
 pub mod shard;
@@ -114,7 +115,11 @@ pub mod stats;
 pub mod substrate;
 
 pub use engine::{Engine, EngineConfig, EngineError};
+pub use metrics::{DeviceProfile, MetricsSnapshot, ShardMetrics};
 pub use realloc_common::router::{self, shard_of, HashRouter, Router, TableRouter};
+pub use realloc_telemetry::{
+    EventJournal, Histogram, HistogramSnapshot, Json, SpanPhase, TraceEvent,
+};
 pub use rebalance::{
     DefragSummary, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy, RebalanceReport,
     ResizeReport,

@@ -49,6 +49,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use realloc_common::{BoxedReallocator, ObjectId, TableRouter};
+use realloc_telemetry::EventJournal;
 use storage_sim::wal::{checkpoint_path, read_checkpoint, read_wal, wal_path};
 use storage_sim::{checksum, pattern_for, WalRecord};
 
@@ -130,8 +131,13 @@ impl Engine {
             shards: config.shards,
             ..RecoveryReport::default()
         };
+        // One span per recovery stage, recorded standalone (the engine does
+        // not exist yet) and installed into the rebuilt fleet's journal so
+        // the first metrics scrape shows how recovery spent its time.
+        let mut spans = EventJournal::new(512);
 
         // Phase 1: fold each shard's checkpoint + log suffix.
+        spans.begin(None, "recover.fold", config.shards as u64);
         let mut live: Vec<BTreeMap<ObjectId, Tracked>> = Vec::with_capacity(config.shards);
         // Every journaled MigrateOut as (xfer, id, size, source shard).
         let mut outs: Vec<(u64, ObjectId, u64, usize)> = Vec::new();
@@ -217,10 +223,12 @@ impl Engine {
             }
             live.push(map);
         }
+        spans.end(None, "recover.fold", report.replayed_records);
 
         // Phase 2a: duplicates. An id live on two shards means the source
         // log was truncated below its MigrateOut while the target kept the
         // MigrateIn; the later arrival (higher claim) is the durable truth.
+        spans.begin(None, "recover.reconcile", 0);
         let mut owner: BTreeMap<ObjectId, (usize, u64, u64)> = BTreeMap::new();
         for (shard, map) in live.into_iter().enumerate() {
             for (id, t) in map {
@@ -263,9 +271,11 @@ impl Engine {
 
         report.objects = owner.len() as u64;
         report.volume = owner.values().map(|&(_, size, _)| size).sum();
+        spans.end(None, "recover.reconcile", report.objects);
 
         // Phase 3: routing re-derived from ownership — assign exactly
         // where the fresh rendezvous fallback disagrees.
+        spans.begin(None, "recover.routing", 0);
         let mut router = TableRouter::new(config.shards);
         for (&id, &(shard, ..)) in &owner {
             if realloc_common::Router::route(&router, id) != shard {
@@ -273,12 +283,14 @@ impl Engine {
                 report.route_assignments += 1;
             }
         }
+        spans.end(None, "recover.routing", report.route_assignments);
 
         // Phase 4: reseed a fresh fleet through the normal serving path.
         // The derived router lands every insert on its owner, workers
         // journal the reseeding appends (a crash mid-recovery just
         // recovers again), and the closing quiesce checkpoints the rebuilt
         // state and truncates the logs.
+        spans.begin(None, "recover.reseed", report.objects);
         let mut engine = Engine::build(config, Box::new(router), factory, Some(dir), 1)?;
         engine.set_xfer_seq(max_xfer + 1);
         for (id, (_, size, _)) in owner {
@@ -286,6 +298,8 @@ impl Engine {
         }
         engine.quiesce()?;
         report.substrate = engine.verify_substrate()?;
+        spans.end(None, "recover.reseed", report.volume);
+        engine.install_events(spans);
         Ok((engine, report))
     }
 }

@@ -29,6 +29,7 @@ use storage_sim::wal::{checkpoint_path, read_checkpoint, wal_path, write_checkpo
 use storage_sim::{checksum, pattern_for, Checkpoint, CheckpointEntry, WalRecord, WalWriter};
 use workload_gen::Request;
 
+use crate::metrics::{ShardMetrics, ShardTelemetry, SimLane};
 use crate::rebalance::DefragSummary;
 use crate::stats::ShardStats;
 use crate::substrate::{ShardSubstrate, SubstrateReport, Transfer, TransferPayload};
@@ -110,6 +111,11 @@ pub(crate) enum Command {
     },
     /// Reply with current stats (no state change).
     Snapshot(Sender<ShardReply>),
+    /// Reply with current stats plus the telemetry snapshot (histograms and
+    /// sim-time accumulators). Unlike the other stats barriers, the caller
+    /// does **not** surface sticky errors from this reply — a metrics
+    /// scrape observes a degraded fleet instead of failing on it.
+    Metrics(Sender<(ShardReply, ShardMetrics)>),
     /// Reply with the placements of all live objects, sorted by id.
     Extents(Sender<Vec<(ObjectId, Extent)>>),
     /// Rebalance protocol, outbound half: delete `ids` (they are being
@@ -199,6 +205,10 @@ pub(crate) struct ShardWorker {
     recoveries: u64,
     /// First substrate failure, sticky like `first_error`.
     first_substrate_error: Option<String>,
+    /// Telemetry recording (histograms, sim-time pricing); `None` when the
+    /// engine runs with telemetry off — every hook below degrades to a
+    /// single `Option` check.
+    telemetry: Option<ShardTelemetry>,
     record_ledger: bool,
     ledger: Ledger,
     /// Ids this shard believes live, by request history. The `Reallocator`
@@ -230,6 +240,7 @@ impl ShardWorker {
         record_ledger: bool,
         journal: Option<ShardJournal>,
         recoveries: u64,
+        telemetry: Option<ShardTelemetry>,
     ) -> Self {
         ShardWorker {
             shard,
@@ -238,6 +249,7 @@ impl ShardWorker {
             journal,
             recoveries,
             first_substrate_error: None,
+            telemetry,
             record_ledger,
             ledger: Ledger::new(),
             live: HashSet::new(),
@@ -264,6 +276,10 @@ impl ShardWorker {
             match cmd {
                 Command::Batch(reqs) => {
                     self.batches += 1;
+                    let started = self.telemetry.as_mut().map(|t| {
+                        t.batch_sim_accum = 0.0;
+                        std::time::Instant::now()
+                    });
                     for req in reqs {
                         self.serve(req);
                     }
@@ -277,10 +293,16 @@ impl ShardWorker {
                     // Group commit: the whole batch's records become one
                     // durable frame — one fsync per batch, not per op.
                     self.wal_commit();
+                    if let (Some(t), Some(start)) = (self.telemetry.as_mut(), started) {
+                        t.batch_service_ns.record(start.elapsed().as_nanos() as u64);
+                        if t.device.is_some() {
+                            t.batch_sim_us.record(t.batch_sim_accum.round() as u64);
+                        }
+                    }
                 }
                 Command::Quiesce { reply, pins } => {
                     let outcome = self.realloc.quiesce();
-                    self.absorb(&outcome);
+                    self.absorb(&outcome, SimLane::Serve);
                     self.verify_substrate_at_barrier();
                     self.wal_checkpoint(&pins);
                     let _ = reply.send(self.reply());
@@ -288,6 +310,9 @@ impl ShardWorker {
                 Command::Snapshot(reply) => {
                     self.verify_substrate_at_barrier();
                     let _ = reply.send(self.reply());
+                }
+                Command::Metrics(reply) => {
+                    let _ = reply.send((self.reply(), self.metrics()));
                 }
                 Command::Extents(reply) => {
                     let _ = reply.send(self.live_extents());
@@ -308,7 +333,7 @@ impl ShardWorker {
                     // them) so the objects are fully gone before the engine
                     // re-inserts them on their target shards.
                     let outcome = self.realloc.quiesce();
-                    self.absorb(&outcome);
+                    self.absorb(&outcome, SimLane::Migrate);
                     // Ordered commit, source half: the `MigrateOut` records
                     // are durable *before* the ack reaches the engine, so
                     // no transfer can arrive anywhere whose departure a
@@ -412,10 +437,17 @@ impl ShardWorker {
     /// through here; the one exception is a migrate-in, whose arrival
     /// `Allocate` must write the transferred bytes rather than a fresh
     /// pattern (see [`ShardWorker::migrate_in`]).
-    fn absorb(&mut self, outcome: &Outcome) {
+    ///
+    /// `lane` attributes the outcome's physical ops to the serving or
+    /// migration side of the simulated-device clock (a no-op without a
+    /// configured [`DeviceProfile`](crate::DeviceProfile)).
+    fn absorb(&mut self, outcome: &Outcome, lane: SimLane) {
         self.note_moves(outcome);
         self.journal_ops(&outcome.ops);
         self.replay_ops(&outcome.ops);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.price_ops(&outcome.ops, lane);
+        }
     }
 
     /// Appends one WAL record per physical op to the journal's pending
@@ -463,9 +495,27 @@ impl ShardWorker {
         let Some(journal) = self.journal.as_mut() else {
             return;
         };
-        if let Err(e) = journal.writer.commit() {
-            self.first_substrate_error
-                .get_or_insert(format!("wal commit: {e}"));
+        let pending = journal.writer.pending_records() as u64;
+        let started = std::time::Instant::now();
+        match journal.writer.commit() {
+            Ok(frame_bytes) => {
+                // Empty commits write no frame and pay no device time; only
+                // real group commits count toward the commit histograms.
+                if frame_bytes > 0 {
+                    if let Some(t) = self.telemetry.as_mut() {
+                        t.commit_records.record(pending);
+                        t.commit_latency_ns
+                            .record(started.elapsed().as_nanos() as u64);
+                        if let Some(device) = t.device.as_ref() {
+                            t.wal_commit_sim_us += device.time_of_commit(frame_bytes);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                self.first_substrate_error
+                    .get_or_insert(format!("wal commit: {e}"));
+            }
         }
     }
 
@@ -629,7 +679,7 @@ impl ShardWorker {
                         self.live.remove(&id);
                     }
                 }
-                self.absorb(&outcome);
+                self.absorb(&outcome, SimLane::Serve);
                 let structure = self.observe_space();
                 if self.record_ledger {
                     self.ledger.record(
@@ -663,7 +713,7 @@ impl ShardWorker {
         match self.realloc.delete(id) {
             Ok(outcome) => {
                 self.live.remove(&id);
-                self.absorb(&outcome);
+                self.absorb(&outcome, SimLane::Migrate);
                 // The departure is journaled under the transfer's sequence
                 // number so recovery can pair it with the target's
                 // `MigrateIn` — an unpaired departure means the object died
@@ -740,6 +790,9 @@ impl ShardWorker {
                 self.journal_arrival(&outcome.ops, id, payload.as_ref(), xfer);
                 self.replay_arrival(&outcome.ops, id, payload.as_ref());
                 self.note_moves(&outcome);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.price_ops(&outcome.ops, SimLane::Migrate);
+                }
                 self.moves += 1;
                 self.moved_volume += size;
                 self.migrations_in += 1;
@@ -889,7 +942,20 @@ impl ShardWorker {
             group_commits: self.journal.as_ref().map_or(0, |j| j.writer.commits()),
             recoveries: self.recoveries,
             max_settled_ratio: self.max_settled_ratio,
+            serve_sim_time: self.telemetry.as_ref().map_or(0.0, |t| t.serve_sim_us),
+            migrate_sim_time: self.telemetry.as_ref().map_or(0.0, |t| t.migrate_sim_us),
+            wal_commit_sim_time: self.telemetry.as_ref().map_or(0.0, |t| t.wal_commit_sim_us),
         }
+    }
+
+    /// The wall-clock-and-histogram side of this shard's observability —
+    /// the deterministic counters live in [`ShardStats`]; this carries the
+    /// latency/stall/commit distributions and the sim-time lanes.
+    fn metrics(&self) -> ShardMetrics {
+        self.telemetry.as_ref().map_or_else(
+            || ShardMetrics::empty(self.shard),
+            |t| t.snapshot(self.shard),
+        )
     }
 
     fn reply(&self) -> ShardReply {

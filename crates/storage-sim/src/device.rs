@@ -9,15 +9,18 @@ use realloc_common::StorageOp;
 
 /// A storage device characterized by a per-object transfer cost function and
 /// a fixed checkpoint latency.
+///
+/// The cost box is `Send` so a model can live inside a shard worker thread
+/// (every [`CostFn`] in `cost-model` is plain data).
 pub struct DeviceModel {
-    cost: Box<dyn CostFn>,
+    cost: Box<dyn CostFn + Send>,
     checkpoint_latency: f64,
 }
 
 impl DeviceModel {
     /// A device whose allocate/move latency for a `w`-cell object is
     /// `cost.cost(w)` and whose checkpoints take `checkpoint_latency`.
-    pub fn new(cost: Box<dyn CostFn>, checkpoint_latency: f64) -> Self {
+    pub fn new(cost: Box<dyn CostFn + Send>, checkpoint_latency: f64) -> Self {
         assert!(checkpoint_latency >= 0.0);
         DeviceModel {
             cost,

@@ -1,0 +1,172 @@
+//! A bounded journal of structured trace events.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Where an event sits in a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// A span opened (expect a matching [`SpanPhase::End`] with the same
+    /// label).
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+impl SpanPhase {
+    /// Stable lowercase name (used by the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "begin",
+            SpanPhase::End => "end",
+            SpanPhase::Instant => "instant",
+        }
+    }
+}
+
+/// One journaled event.
+///
+/// `at_us` is wall-clock microseconds since the journal was created —
+/// an observation, not part of any determinism surface. `seq` orders
+/// events totally even when timestamps collide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number within the journal.
+    pub seq: u64,
+    /// Microseconds since the journal's creation (wall clock).
+    pub at_us: u64,
+    /// Shard the event concerns, when one does.
+    pub shard: Option<usize>,
+    /// Static label, dot-namespaced by layer (e.g. `rebalance.batch`,
+    /// `recover.fold`).
+    pub label: &'static str,
+    /// Begin/end/instant.
+    pub phase: SpanPhase,
+    /// One free integer of context — batch size, records replayed,
+    /// objects moved; each label documents its meaning.
+    pub payload: u64,
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+///
+/// When full, the oldest event is dropped and counted — the journal
+/// keeps the recent past, never blocks, and never grows unboundedly.
+#[derive(Debug)]
+pub struct EventJournal {
+    epoch: Instant,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+impl EventJournal {
+    /// A journal retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventJournal {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, shard: Option<usize>, label: &'static str, phase: SpanPhase, payload: u64) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push_back(TraceEvent {
+            seq,
+            at_us: self.epoch.elapsed().as_micros() as u64,
+            shard,
+            label,
+            phase,
+            payload,
+        });
+    }
+
+    /// Opens a span.
+    pub fn begin(&mut self, shard: Option<usize>, label: &'static str, payload: u64) {
+        self.push(shard, label, SpanPhase::Begin, payload);
+    }
+
+    /// Closes a span.
+    pub fn end(&mut self, shard: Option<usize>, label: &'static str, payload: u64) {
+        self.push(shard, label, SpanPhase::End, payload);
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, shard: Option<usize>, label: &'static str, payload: u64) {
+        self.push(shard, label, SpanPhase::Instant, payload);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_pair_up_in_order() {
+        let mut j = EventJournal::new(16);
+        j.begin(Some(0), "rebalance.batch", 8);
+        j.instant(Some(0), "rebalance.flip", 8);
+        j.end(Some(0), "rebalance.batch", 8);
+        let events = j.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.phase).collect::<Vec<_>>(),
+            vec![SpanPhase::Begin, SpanPhase::Instant, SpanPhase::End]
+        );
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.instant(None, "tick", i);
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let payloads: Vec<u64> = j.events().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![2, 3, 4], "oldest evicted first");
+        assert_eq!(
+            j.events().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "sequence numbers keep counting across drops"
+        );
+    }
+}

@@ -1,0 +1,439 @@
+//! Log₂-bucket histograms.
+//!
+//! A [`Histogram`] is recordable from `&self` (every cell is an atomic),
+//! so shard workers and the engine thread can share one without locks. A
+//! [`HistogramSnapshot`] is the plain-data copy readers work with:
+//! percentiles, mean, merge, and delta-since-last-scrape all live there.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket `k ≥ 1`
+//! holds values in `[2^(k-1), 2^k)` — i.e. a value lands in the bucket
+//! indexed by its bit length. With 64-bit values that is [`BUCKETS`]` =
+//! 65` buckets, covering the full `u64` range with ≤ 2× relative error,
+//! which is the right resolution for latencies and sizes spanning many
+//! orders of magnitude.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: its bit length (0 for 0).
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `k`.
+fn bucket_bounds(k: usize) -> (u64, u64) {
+    match k {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (k - 1), (1 << k) - 1),
+    }
+}
+
+/// A lock-free log₂-bucket histogram; record with `&self`, read via
+/// [`snapshot`](Histogram::snapshot).
+///
+/// All atomics are [`Ordering::Relaxed`]: a snapshot taken while writers
+/// are active may be internally skewed by in-flight records (statistics,
+/// not synchronization). Snapshots taken at a quiescent point — how the
+/// engine scrapes — are exact.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation. The running sum saturates at `u64::MAX`
+    /// rather than wrapping.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating atomic add (fetch_add would wrap).
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current state into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let h = Histogram::new();
+        h.count
+            .store(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        h.sum
+            .store(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        h.min
+            .store(self.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        h.max
+            .store(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (dst, src) in h.buckets.iter().zip(&self.buckets) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        h
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]: what scrapes return, merges
+/// combine, and deltas subtract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; always [`BUCKETS`] long.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), interpolated linearly inside the
+    /// containing bucket and clamped to the observed `[min, max]`.
+    ///
+    /// Resolution is one log₂ bucket: the result is within a factor of
+    /// two of the exact order statistic (and exact when the bucket holds
+    /// a single distinct value pinned by `min`/`max`).
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cum as f64;
+            cum += n;
+            if cum as f64 >= target {
+                let (lo, hi) = bucket_bounds(k);
+                let frac = ((target - before) / n as f64).clamp(0.0, 1.0);
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+
+    /// Folds `other` into `self` (count/sum saturate, buckets add,
+    /// min/max widen).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = self.max.max(other.max);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.saturating_add(*src);
+        }
+    }
+
+    /// Observations since `prev` was scraped from the same histogram:
+    /// count, sum, and buckets subtract (saturating); `min`/`max` are
+    /// copied from `self`, because a histogram does not retain enough to
+    /// window extremes — they bound the whole lifetime, not the delta.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(prev.count),
+            sum: self.sum.saturating_sub(prev.sum),
+            min: self.min,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&prev.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// The structural invariant every export must satisfy: bucket counts
+    /// account for every observation, and the extremes bracket the data.
+    /// (Sum-vs-count consistency is not checked: `sum` saturates.)
+    pub fn is_consistent(&self) -> bool {
+        let total: u64 = self.buckets.iter().fold(0, |a, &b| a.saturating_add(b));
+        if total != self.count {
+            return false;
+        }
+        self.count == 0 || self.min <= self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Value → bucket: 0→0, 1→1, 2..4→2, 4..8→3, …
+        for (value, bucket) in [
+            (0u64, 0usize),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1 << 62, 63),
+            ((1 << 63) - 1, 63),
+            (1 << 63, 64),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(bucket_index(value), bucket, "value {value}");
+            let (lo, hi) = bucket_bounds(bucket);
+            assert!(lo <= value && value <= hi, "bounds of bucket {bucket}");
+        }
+    }
+
+    #[test]
+    fn records_land_in_their_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 1); // 1000 has bit length 10
+        assert_eq!(s.buckets[64], 1);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.count, 2);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.sum), (0, 0, 0, 0));
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_consistent());
+    }
+
+    #[test]
+    fn merge_widens_and_adds() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [4u64, 5, 6] {
+            a.record(v);
+        }
+        for v in [100u64, 200] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum, 4 + 5 + 6 + 100 + 200);
+        assert_eq!((m.min, m.max), (4, 200));
+        assert!(m.is_consistent());
+
+        // Merging into empty adopts the other's extremes.
+        let mut e = HistogramSnapshot::empty();
+        e.merge(&b.snapshot());
+        assert_eq!((e.min, e.max), (100, 200));
+    }
+
+    #[test]
+    fn delta_subtracts_counts_and_buckets() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let before = h.snapshot();
+        h.record(1000);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 1000);
+        assert_eq!(delta.buckets[10], 1);
+        assert!(delta.is_consistent());
+    }
+
+    #[test]
+    fn constant_data_pins_every_percentile() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.percentile(q), 42.0, "q={q}");
+        }
+    }
+
+    /// The sorted-vec oracle: the histogram's percentile must stay within
+    /// one bucket (a factor of two, and within the oracle's bucket bounds)
+    /// of the exact order statistic.
+    fn check_against_oracle(values: &[u64]) {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.is_consistent());
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+            let exact = sorted[rank];
+            let est = s.percentile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            // The estimate may interpolate anywhere inside the exact
+            // value's bucket, and clamping can pull it to min/max.
+            let lo = (lo as f64).min(s.min as f64);
+            let hi = (hi as f64).max(s.min as f64);
+            assert!(
+                est >= lo && est <= hi.max(s.max as f64),
+                "q={q}: estimate {est} outside bucket [{lo}, {hi}] of exact {exact}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn percentiles_track_sorted_vec_oracle(
+            values in prop::collection::vec(0u64..1_000_000, 1..300),
+        ) {
+            check_against_oracle(&values);
+        }
+
+        #[test]
+        fn merge_equals_recording_concatenation(
+            a in prop::collection::vec(0u64..100_000, 0..100),
+            b in prop::collection::vec(0u64..100_000, 0..100),
+        ) {
+            let ha = Histogram::new();
+            for &v in &a { ha.record(v); }
+            let hb = Histogram::new();
+            for &v in &b { hb.record(v); }
+            let mut merged = ha.snapshot();
+            merged.merge(&hb.snapshot());
+
+            let hc = Histogram::new();
+            for &v in a.iter().chain(&b) { hc.record(v); }
+            prop_assert_eq!(merged, hc.snapshot());
+        }
+    }
+}

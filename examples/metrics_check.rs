@@ -1,0 +1,200 @@
+//! Validator for the `realloc-sim engine --metrics-json` export.
+//!
+//! CI pipes the binary's JSON into this checker:
+//!
+//! ```text
+//! realloc-sim engine --device disk --metrics-json --churn 20000 8000 \
+//!   | cargo run --release --example metrics_check
+//! ```
+//!
+//! It re-parses the document with the same strict parser the library
+//! ships, then checks the schema: every required key present, every
+//! histogram internally consistent (`count = Σ buckets`, percentiles
+//! inside `[min, max]`), the sim-time lanes summing to the reported
+//! total, and `per_shard` matching the declared shard count.
+//!
+//! Run with no piped input (how the CI examples step runs it), it
+//! generates a snapshot in-process — two shards of churn on the `ssd`
+//! profile — and validates its own export, so the schema check is a
+//! living acceptance test even standalone.
+
+use std::io::{IsTerminal, Read};
+
+use storage_realloc::prelude::*;
+use storage_realloc::workloads::churn::{churn, ChurnConfig};
+use storage_realloc::workloads::dist::SizeDist;
+
+fn main() {
+    let text = piped_input().unwrap_or_else(self_scrape);
+    let doc = Json::parse(&text).expect("metrics export must re-parse");
+    validate(&doc);
+    let shards = doc.get("shards").and_then(Json::as_u64).unwrap();
+    println!(
+        "metrics export OK: schema {}, device {}, {} shards, {} events",
+        doc.get("schema").and_then(Json::as_u64).unwrap(),
+        doc.get("device").and_then(Json::as_str).unwrap_or("none"),
+        shards,
+        doc.get("events").and_then(Json::as_arr).unwrap().len(),
+    );
+}
+
+/// Reads stdin when something is piped in; `None` on a terminal or when
+/// the pipe is empty (the CI examples step runs with an empty stdin).
+fn piped_input() -> Option<String> {
+    let stdin = std::io::stdin();
+    if stdin.is_terminal() {
+        return None;
+    }
+    let mut text = String::new();
+    stdin.lock().read_to_string(&mut text).ok()?;
+    let trimmed = text.trim();
+    (!trimmed.is_empty()).then(|| trimmed.to_string())
+}
+
+/// Generates an export to validate: two shards of churn, ssd-priced.
+fn self_scrape() -> String {
+    let mut config = EngineConfig::with_shards(2);
+    config.device = Some(DeviceProfile::Ssd);
+    let mut engine = Engine::new(config, |_| Box::new(CostObliviousReallocator::new(0.25)));
+    let workload = churn(&ChurnConfig {
+        dist: SizeDist::Uniform { lo: 4, hi: 256 },
+        target_volume: 20_000,
+        churn_ops: 4_000,
+        seed: 5,
+    });
+    engine.drive(&workload).expect("shards healthy");
+    engine.quiesce().expect("quiesce");
+    let scrape = engine.metrics().expect("scrape");
+    engine.shutdown().expect("shutdown");
+    scrape.to_json().to_string()
+}
+
+fn validate(doc: &Json) {
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_u64),
+        Some(1),
+        "unknown schema version"
+    );
+    for key in [
+        "device",
+        "scrape",
+        "shards",
+        "counters",
+        "gauges",
+        "sim_time_us",
+        "per_shard",
+        "events",
+    ] {
+        assert!(doc.get(key).is_some(), "missing top-level key {key:?}");
+    }
+
+    let counters = doc.get("counters").unwrap();
+    for key in [
+        "requests",
+        "batches",
+        "errors",
+        "total_moves",
+        "total_moved_volume",
+        "migrations_in",
+        "migrations_out",
+        "wal_records",
+        "wal_bytes",
+        "group_commits",
+        "recoveries",
+        "events_dropped",
+    ] {
+        assert!(
+            counters.get(key).and_then(Json::as_u64).is_some(),
+            "counters.{key} missing or not an integer"
+        );
+    }
+
+    let gauges = doc.get("gauges").unwrap();
+    for key in [
+        "live_count",
+        "live_volume",
+        "footprint",
+        "structure_size",
+        "max_object_size",
+    ] {
+        assert!(
+            gauges.get(key).and_then(Json::as_u64).is_some(),
+            "gauges.{key} missing or not an integer"
+        );
+    }
+
+    // The lanes must sum to the reported total.
+    let sim = doc.get("sim_time_us").unwrap();
+    let lane = |k: &str| {
+        sim.get(k)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("sim_time_us.{k} missing"))
+    };
+    let total = lane("total");
+    let sum = lane("serve") + lane("migrate") + lane("wal_commit");
+    assert!(
+        (total - sum).abs() <= 1e-6 * total.abs().max(1.0),
+        "sim_time_us.total {total} ≠ lane sum {sum}"
+    );
+
+    let declared = doc.get("shards").and_then(Json::as_u64).unwrap() as usize;
+    let per_shard = doc.get("per_shard").and_then(Json::as_arr).unwrap();
+    assert_eq!(per_shard.len(), declared, "per_shard length ≠ shards");
+    for shard in per_shard {
+        for key in ["shard", "algorithm", "requests", "live_volume"] {
+            assert!(shard.get(key).is_some(), "per_shard entry missing {key:?}");
+        }
+        for key in [
+            "batch_sim_us",
+            "commit_records",
+            "batch_service_ns",
+            "commit_latency_ns",
+            "intake_stall_ns",
+        ] {
+            let h = shard
+                .get(key)
+                .unwrap_or_else(|| panic!("per_shard entry missing histogram {key:?}"));
+            check_histogram(key, h);
+        }
+    }
+
+    for event in doc.get("events").and_then(Json::as_arr).unwrap() {
+        for key in ["seq", "at_us", "label", "phase", "payload"] {
+            assert!(event.get(key).is_some(), "event missing {key:?}");
+        }
+    }
+}
+
+/// The exported-histogram invariant: `count = Σ buckets`, and the
+/// percentile fields sit inside the observed `[min, max]`.
+fn check_histogram(name: &str, h: &Json) {
+    let field = |k: &str| {
+        h.get(k)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("{name}.{k} missing or not an integer"))
+    };
+    let count = field("count");
+    field("sum");
+    let min = field("min");
+    let max = field("max");
+    let buckets = h
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{name}.buckets missing"));
+    let total: u64 = buckets.iter().filter_map(Json::as_u64).sum();
+    assert_eq!(count, total, "{name}: count ≠ Σ buckets");
+    for q in ["p50", "p90", "p99", "p999"] {
+        let p = h
+            .get(q)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{name}.{q} missing"));
+        if count > 0 {
+            assert!(
+                p >= min as f64 && p <= max as f64,
+                "{name}.{q} = {p} outside [{min}, {max}]"
+            );
+        } else {
+            assert_eq!(p, 0.0, "{name}.{q} nonzero on empty histogram");
+        }
+    }
+}

@@ -62,6 +62,20 @@
 //!                        rebuild the fleet with Engine::recover, print the
 //!                        recovery report, and keep serving the rest of the
 //!                        workload on the recovered fleet
+//!   --metrics            print the observability report after the run: a
+//!                        per-shard telemetry table (batch-service and
+//!                        commit-latency percentiles, group-commit
+//!                        coalescing, intake stalls, simulated device time)
+//!                        and the structural event tail
+//!   --metrics-json       emit ONLY the metrics snapshot as JSON on stdout
+//!                        (the normal report is suppressed so the output
+//!                        pipes clean into a parser); schema documented on
+//!                        MetricsSnapshot::to_json
+//!   --device <profile>   price every shard's physical op stream against a
+//!                        simulated device: unit (1 µs/op), disk (seek-
+//!                        dominated rotating disk), ssd (erase-block flash).
+//!                        Sim time is deterministic — same workload, same
+//!                        sim time — unlike the wall-clock histograms
 //!   --verify-cadence <c> when each shard runs its full O(V) extent + byte
 //!                        scan (per-write rule checks are always on):
 //!                          final   — once, before shutdown: cheapest, but a
@@ -126,6 +140,9 @@ struct Args {
     cadence: Option<VerifyCadence>,
     wal_dir: Option<String>,
     crash_after: Option<usize>,
+    metrics: bool,
+    metrics_json: bool,
+    device: Option<DeviceProfile>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -154,6 +171,9 @@ fn parse_args() -> Result<Args, String> {
         cadence: None,
         wal_dir: None,
         crash_after: None,
+        metrics: false,
+        metrics_json: false,
+        device: None,
     };
     let engine_mode = args.algorithm == "engine";
     let mut crash = false;
@@ -271,6 +291,15 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.crash_after = Some(n);
             }
+            "--metrics" if engine_mode => args.metrics = true,
+            "--metrics-json" if engine_mode => args.metrics_json = true,
+            "--device" if engine_mode => {
+                let name = next("unit, disk or ssd")?;
+                args.device = Some(
+                    DeviceProfile::parse(&name)
+                        .ok_or(format!("--device: unknown profile {name:?}"))?,
+                );
+            }
             "--verify-cadence" if engine_mode => {
                 args.cadence = Some(match next("final, quiesce or batch")?.as_str() {
                     "final" => VerifyCadence::Final,
@@ -368,6 +397,93 @@ fn print_rebalance(served: usize, report: &RebalanceReport) {
     );
 }
 
+/// The `--metrics` human report: one telemetry row per shard (latency and
+/// commit distributions, intake stalls, sim-time lanes) plus the journal's
+/// structural event tail.
+fn print_metrics(snapshot: &MetricsSnapshot) {
+    let device = snapshot
+        .device
+        .map_or("none (wall clock + counts only)", DeviceProfile::name);
+    println!(
+        "\n-- observability (scrape #{}, device: {device}) --",
+        snapshot.scrape
+    );
+    let mut table = Table::new(
+        "per-shard telemetry",
+        &[
+            "shard",
+            "svc p50 µs",
+            "svc p99 µs",
+            "commit recs μ",
+            "commit p99 µs",
+            "stalls",
+            "serve sim µs",
+            "migr sim µs",
+            "commit sim µs",
+        ],
+    );
+    for m in &snapshot.per_shard {
+        table.row(vec![
+            m.shard.to_string(),
+            fmt2(m.batch_service_ns.p50() / 1_000.0),
+            fmt2(m.batch_service_ns.p99() / 1_000.0),
+            fmt2(m.commit_records.mean()),
+            fmt2(m.commit_latency_ns.p99() / 1_000.0),
+            fmt_u64(m.intake_stall_ns.count),
+            fmt2(m.serve_sim_us),
+            fmt2(m.migrate_sim_us),
+            fmt2(m.wal_commit_sim_us),
+        ]);
+    }
+    table.print();
+    if snapshot.device.is_some() {
+        println!(
+            "sim time: {:.0} µs total (serve {:.0} + migrate {:.0} + wal commit {:.0})",
+            snapshot.sim_time_us(),
+            snapshot
+                .per_shard
+                .iter()
+                .map(|m| m.serve_sim_us)
+                .sum::<f64>(),
+            snapshot
+                .per_shard
+                .iter()
+                .map(|m| m.migrate_sim_us)
+                .sum::<f64>(),
+            snapshot
+                .per_shard
+                .iter()
+                .map(|m| m.wal_commit_sim_us)
+                .sum::<f64>(),
+        );
+    }
+    let stalls = snapshot.intake_stall_ns();
+    if stalls.count > 0 {
+        println!(
+            "backpressure: {} stalled sends, p99 {:.0} µs",
+            stalls.count,
+            stalls.p99() / 1_000.0
+        );
+    }
+    if !snapshot.events.is_empty() {
+        println!(
+            "events: {} retained ({} dropped); last:",
+            snapshot.events.len(),
+            snapshot.events_dropped
+        );
+        for e in snapshot.events.iter().rev().take(5).rev() {
+            println!(
+                "  #{:<4} +{:>9} µs  {:<20} {:<7} payload {}",
+                e.seq,
+                e.at_us,
+                e.label,
+                e.phase.name(),
+                e.payload
+            );
+        }
+    }
+}
+
 /// Everything `serve_span` needs besides the engine and the requests.
 struct ServePlan<'a> {
     args: &'a Args,
@@ -388,13 +504,16 @@ fn serve_span(
     resized: &mut bool,
 ) -> Result<(), EngineError> {
     let args = plan.args;
+    // --metrics-json promises machine-readable stdout: everything the run
+    // would normally narrate is suppressed so the output pipes clean.
+    let quiet = args.metrics_json;
     for chunk in requests.chunks(plan.chunk_size.max(1)) {
         engine.drive(&Workload::new("chunk", chunk.to_vec()))?;
         *served += chunk.len();
         if args.auto_rebalance {
             let was_active = engine.rebalance_active();
             engine.snapshot()?; // the policy observes at this barrier
-            if !was_active && engine.rebalance_active() {
+            if !was_active && engine.rebalance_active() && !quiet {
                 println!("policy    @{:>8}: fired, online session started", *served);
             }
         } else if args.rebalance_every.is_some() {
@@ -404,13 +523,17 @@ fn serve_span(
                 }
             } else {
                 let report = engine.rebalance(plan.rebalance_opts)?;
-                print_rebalance(*served, &report);
+                if !quiet {
+                    print_rebalance(*served, &report);
+                }
             }
         }
         // Online sessions (fixed-cadence or policy-fired) complete
         // inside serving calls; their reports are claimed here.
         if let Some(report) = engine.take_rebalance_report() {
-            print_rebalance(*served, &report);
+            if !quiet {
+                print_rebalance(*served, &report);
+            }
         }
         if !*resized && *served >= plan.midpoint {
             *resized = true;
@@ -419,12 +542,20 @@ fn serve_span(
                 make_algorithm(&args.variant, args.eps).expect("variant validated above")
             };
             let report = engine.resize_shards(to, factory)?;
-            println!(
-                "resize    @{:>8}: {} -> {} shards, {} objects / {} cells migrated",
-                *served, report.from, report.to, report.migrated_objects, report.migrated_volume
-            );
+            if !quiet {
+                println!(
+                    "resize    @{:>8}: {} -> {} shards, {} objects / {} cells migrated",
+                    *served,
+                    report.from,
+                    report.to,
+                    report.migrated_objects,
+                    report.migrated_volume
+                );
+            }
             if let Some(report) = engine.take_rebalance_report() {
-                print_rebalance(*served, &report);
+                if !quiet {
+                    print_rebalance(*served, &report);
+                }
             }
         }
     }
@@ -442,6 +573,7 @@ fn drive_workload(
     plan: &ServePlan,
 ) -> Result<Engine, EngineError> {
     let args = plan.args;
+    let quiet = args.metrics_json;
     let mut served = 0usize;
     let mut resized = args.resize.is_none();
     let crash_at = args.crash_after.map(|n| n.min(workload.len()));
@@ -455,25 +587,29 @@ fn drive_workload(
             .as_ref()
             .expect("--crash-after implies --wal-dir");
         engine.crash();
-        println!("crash     @{served:>8}: simulated kill -9, recovering from {dir}");
+        if !quiet {
+            println!("crash     @{served:>8}: simulated kill -9, recovering from {dir}");
+        }
         let factory = |_shard: usize| {
             make_algorithm(&args.variant, args.eps).expect("variant validated above")
         };
         let (rebuilt, report) = Engine::recover(config, dir, factory)?;
         engine = rebuilt;
-        println!(
-            "recovered @{served:>8}: {} objects / {} cells ({} from checkpoints, \
-             {} records replayed in {} groups); {} resurrected, {} duplicates \
-             dropped, {} route assignments",
-            report.objects,
-            report.volume,
-            report.checkpoint_objects,
-            report.replayed_records,
-            report.replayed_groups,
-            report.resurrected.len(),
-            report.dropped_duplicates.len(),
-            report.route_assignments,
-        );
+        if !quiet {
+            println!(
+                "recovered @{served:>8}: {} objects / {} cells ({} from checkpoints, \
+                 {} records replayed in {} groups); {} resurrected, {} duplicates \
+                 dropped, {} route assignments",
+                report.objects,
+                report.volume,
+                report.checkpoint_objects,
+                report.replayed_records,
+                report.replayed_groups,
+                report.resurrected.len(),
+                report.dropped_duplicates.len(),
+                report.route_assignments,
+            );
+        }
         if args.auto_rebalance {
             // The policy lives in the crashed driver; reinstall it on the
             // recovered fleet.
@@ -489,7 +625,9 @@ fn drive_workload(
     engine.clear_auto_rebalance();
     while engine.rebalance_step()? {}
     if let Some(report) = engine.take_rebalance_report() {
-        print_rebalance(workload.len(), &report);
+        if !quiet {
+            print_rebalance(workload.len(), &report);
+        }
     }
     engine.quiesce()?;
     Ok(engine)
@@ -504,6 +642,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         eprintln!("error: unknown engine variant {:?}", args.variant);
         return ExitCode::FAILURE;
     }
+    let quiet = args.metrics_json;
 
     let substrate = args.substrate.map(|mode| SubstrateConfig {
         mode,
@@ -514,6 +653,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         shards: args.shards,
         batch: args.batch,
         substrate,
+        device: args.device,
         ..Default::default()
     };
     let factory =
@@ -539,34 +679,39 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             _ => Engine::new(config, factory),
         }
     };
-    println!("workload:  {} ({} requests)", workload.name, workload.len());
-    println!(
-        "engine:    {} × {} shards (ε = {}, batch = {}, router = {})",
-        args.variant,
-        args.shards,
-        args.eps,
-        args.batch,
-        engine.router().name()
-    );
-    if let Some(s) = &substrate {
+    if !quiet {
+        println!("workload:  {} ({} requests)", workload.name, workload.len());
         println!(
-            "substrate: {} rules, {}-cell windows, verify at {} cadence",
-            match s.mode {
-                Mode::Strict => "strict",
-                Mode::Relaxed => "relaxed",
-            },
-            s.window_span,
-            s.verify
+            "engine:    {} × {} shards (ε = {}, batch = {}, router = {})",
+            args.variant,
+            args.shards,
+            args.eps,
+            args.batch,
+            engine.router().name()
         );
-    }
-    if let Some(dir) = &args.wal_dir {
-        println!(
-            "wal:       one log per shard under {dir}, group commit per served batch{}",
-            match args.crash_after {
-                Some(n) => format!("; kill -9 scheduled after {n} requests"),
-                None => String::new(),
-            }
-        );
+        if let Some(device) = args.device {
+            println!("device:    {} profile pricing op streams", device.name());
+        }
+        if let Some(s) = &substrate {
+            println!(
+                "substrate: {} rules, {}-cell windows, verify at {} cadence",
+                match s.mode {
+                    Mode::Strict => "strict",
+                    Mode::Relaxed => "relaxed",
+                },
+                s.window_span,
+                s.verify
+            );
+        }
+        if let Some(dir) = &args.wal_dir {
+            println!(
+                "wal:       one log per shard under {dir}, group commit per served batch{}",
+                match args.crash_after {
+                    Some(n) => format!("; kill -9 scheduled after {n} requests"),
+                    None => String::new(),
+                }
+            );
+        }
     }
 
     let rebalance_opts = if args.defrag {
@@ -579,10 +724,12 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             RebalancePolicy::new(args.tau, args.policy_k, args.hysteresis),
             rebalance_opts,
         );
-        println!(
-            "policy:    auto-rebalance (τ = {}, k = {}, hysteresis = {})",
-            args.tau, args.policy_k, args.hysteresis
-        );
+        if !quiet {
+            println!(
+                "policy:    auto-rebalance (τ = {}, k = {}, hysteresis = {})",
+                args.tau, args.policy_k, args.hysteresis
+            );
+        }
     }
     // Observation cadence for --auto-rebalance (the policy observes
     // imbalance at one snapshot barrier per this many requests).
@@ -627,6 +774,18 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     } else {
         None
     };
+    // Scrape the observability surface before shutdown consumes the fleet.
+    let scraped = if args.metrics || args.metrics_json {
+        match engine.metrics() {
+            Ok(snapshot) => Some(snapshot),
+            Err(e) => {
+                eprintln!("metrics scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let live_shards = engine.shards();
     let finals = match engine.shutdown() {
         Ok(f) => f,
@@ -636,6 +795,14 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         }
     };
     let elapsed = start.elapsed();
+
+    // Machine export: the snapshot's JSON is the run's *only* stdout, so it
+    // pipes straight into a parser (the CI smoke check does exactly that).
+    if args.metrics_json {
+        let snapshot = scraped.expect("scraped above");
+        println!("{}", snapshot.to_json());
+        return ExitCode::SUCCESS;
+    }
 
     // Live shards lead the finals; shards retired by a shrink follow (their
     // rows print for the record, but volume aggregates would be skewed by
@@ -771,6 +938,10 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         elapsed.as_secs_f64()
     );
 
+    if let Some(snapshot) = &scraped {
+        print_metrics(snapshot);
+    }
+
     println!("\n-- cost competitiveness over the union of shard ledgers --");
     for f in storage_realloc::cost::standard_suite() {
         let price = |w: u64| f.cost(w);
@@ -798,7 +969,8 @@ fn main() -> ExitCode {
                  \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
                  \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
                  \x20                         [--resize n] [--defrag] [--substrate [relaxed|strict]] [--verify-cadence final|quiesce|batch]\n\
-                 \x20                         [--wal-dir dir [--crash-after n]] [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
+                 \x20                         [--wal-dir dir [--crash-after n]] [--metrics] [--metrics-json] [--device unit|disk|ssd]\n\
+                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
                  \x20      (--rebalance-every alone quiesces the whole fleet per rebalance; --online or\n\
                  \x20       --auto-rebalance migrate in bounded batches interleaved with serving;\n\
                  \x20       --substrate backs each shard with a byte store over its own address window —\n\

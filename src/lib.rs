@@ -62,9 +62,10 @@ pub mod prelude {
     };
     pub use crate::cost::{standard_suite, CostFn};
     pub use crate::engine::{
-        DefragSummary, Engine, EngineConfig, EngineError, EngineStats, OnlinePlan, RebalanceMode,
-        RebalanceOptions, RebalancePolicy, RebalanceReport, RecoveryReport, ResizeReport,
-        ShardStats, SubstrateConfig, SubstrateReport, VerifyCadence,
+        DefragSummary, DeviceProfile, Engine, EngineConfig, EngineError, EngineStats,
+        HistogramSnapshot, Json, MetricsSnapshot, OnlinePlan, RebalanceMode, RebalanceOptions,
+        RebalancePolicy, RebalanceReport, RecoveryReport, ResizeReport, ShardMetrics, ShardStats,
+        SubstrateConfig, SubstrateReport, TraceEvent, VerifyCadence,
     };
     pub use crate::harness::{run_workload, RunConfig, RunResult};
     pub use crate::sim::{checksum, pattern_for, AddressWindow, DataStore, Mode, SimStore};
