@@ -1,0 +1,226 @@
+//! E16 — batch-pipeline coalescing: what does planning a batch before
+//! applying it buy under delete+reinsert-heavy churn?
+//!
+//! The workload is `coalescible_churn` at V≈1M on the *strict* substrate
+//! (checkpointed variant — the §3 regime where every physical write is
+//! database-priced): half the traffic touches a live object by deleting
+//! and immediately reinserting the same id, a fifth is born-and-gone
+//! transients, the rest plain churn. An uncoalesced engine replays every
+//! request against the reallocator; the coalescing engine folds each
+//! channel batch first — a touch becomes one resize (or nothing, same
+//! size), a transient never exists, resize chains collapse to the last
+//! size.
+//!
+//! The acceptance bar (ISSUE 8): the coalescing engine serves the same
+//! stream with **≥ 10% higher ops/s** and **≥ 20% fewer substrate
+//! `bytes_written`**, landing byte-identical observable state (checked
+//! here; `tests/batch_pipeline.rs` proves it property-wise). Both numbers
+//! print with a PASS/FAIL verdict, and the run is exported as
+//! `BENCH_batch_pipeline.json` (re-parsed with the strict codec before the
+//! bench exits) so the perf trajectory is tracked run-over-run.
+//!
+//! `BATCH_PIPELINE_SMOKE=1` shrinks the run to one small round and skips
+//! the wall-clock gate (CI machines are noisy; the bytes gate is
+//! deterministic and still enforced).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use realloc_bench::{fmt2, fmt_u64, Table};
+use realloc_common::Reallocator;
+use realloc_core::CheckpointedReallocator;
+use realloc_engine::{Engine, EngineConfig, EngineStats, Json, SubstrateConfig, SubstrateRules};
+use workload_gen::churn::{coalescible_churn, ChurnConfig};
+use workload_gen::dist::SizeDist;
+use workload_gen::Workload;
+
+const EPS: f64 = 0.25;
+const SHARDS: usize = 4;
+const BATCH: usize = 256;
+
+struct Scale {
+    target_volume: u64,
+    churn_ops: usize,
+    /// Timed runs per mode; the comparison uses the median elapsed.
+    runs: usize,
+    /// Whether the wall-clock gate applies (off in smoke mode).
+    gate_throughput: bool,
+}
+
+fn scale() -> Scale {
+    if std::env::var_os("BATCH_PIPELINE_SMOKE").is_some() {
+        Scale {
+            target_volume: 50_000,
+            churn_ops: 10_000,
+            runs: 1,
+            gate_throughput: false,
+        }
+    } else {
+        Scale {
+            target_volume: 1_000_000,
+            churn_ops: 150_000,
+            runs: 3,
+            gate_throughput: true,
+        }
+    }
+}
+
+struct RunResult {
+    elapsed_s: f64,
+    stats: EngineStats,
+}
+
+fn run(workload: &Workload, coalesce: bool) -> RunResult {
+    let mut config = EngineConfig {
+        batch: BATCH,
+        ..EngineConfig::with_shards(SHARDS)
+    }
+    .with_substrate(SubstrateConfig {
+        mode: SubstrateRules::Strict,
+        ..SubstrateConfig::default()
+    });
+    if coalesce {
+        config = config.coalescing();
+    }
+    let mut engine = Engine::new(config, |_| {
+        Box::new(CheckpointedReallocator::new(EPS)) as Box<dyn Reallocator + Send>
+    });
+    let start = Instant::now();
+    engine.drive(workload).expect("drive");
+    let stats = engine.quiesce().expect("quiesce");
+    let elapsed_s = start.elapsed().as_secs_f64();
+    engine.shutdown().expect("shutdown");
+    RunResult { elapsed_s, stats }
+}
+
+/// Median-by-elapsed of `runs` runs (the deterministic stats are identical
+/// across repeats; only the wall clock varies).
+fn run_many(workload: &Workload, coalesce: bool, runs: usize) -> RunResult {
+    let mut results: Vec<RunResult> = (0..runs).map(|_| run(workload, coalesce)).collect();
+    results.sort_by(|a, b| a.elapsed_s.total_cmp(&b.elapsed_s));
+    results.remove(runs / 2)
+}
+
+fn export(path: &str, doc: &Json) -> Result<(), String> {
+    let text = doc.to_string();
+    // Self-validate with the strict parser before anything trusts the file.
+    let parsed = Json::parse(&text)?;
+    if &parsed != doc {
+        return Err("export did not round-trip".into());
+    }
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn side(r: &RunResult, ops_per_sec: f64) -> Json {
+    let mut side = Json::obj();
+    side.set("elapsed_s", r.elapsed_s)
+        .set("ops_per_sec", ops_per_sec)
+        .set("bytes_written", r.stats.bytes_written())
+        .set("requests", r.stats.requests())
+        .set("requests_coalesced", r.stats.requests_coalesced())
+        .set("requests_cancelled", r.stats.requests_cancelled());
+    side
+}
+
+fn main() -> ExitCode {
+    let scale = scale();
+    let workload = coalescible_churn(&ChurnConfig {
+        dist: SizeDist::Uniform { lo: 16, hi: 128 },
+        target_volume: scale.target_volume,
+        churn_ops: scale.churn_ops,
+        seed: 21,
+    });
+    assert!(workload.validate_reuse().is_ok(), "generator contract");
+    println!("workload: {} ({} requests)", workload.name, workload.len());
+    println!(
+        "engine:   checkpointed × {SHARDS} shards (ε = {EPS}, batch = {BATCH}), \
+         strict substrate; median of {} run{}{}\n",
+        scale.runs,
+        if scale.runs == 1 { "" } else { "s" },
+        if scale.gate_throughput {
+            ""
+        } else {
+            " (smoke: wall-clock gate off)"
+        }
+    );
+
+    let raw = run_many(&workload, false, scale.runs);
+    let planned = run_many(&workload, true, scale.runs);
+
+    // Same observable state, or the comparison is meaningless.
+    assert_eq!(raw.stats.live_count(), planned.stats.live_count());
+    assert_eq!(raw.stats.live_volume(), planned.stats.live_volume());
+    assert_eq!(raw.stats.requests(), planned.stats.requests());
+
+    let ops = workload.len() as f64;
+    let raw_ops_s = ops / raw.elapsed_s.max(1e-9);
+    let planned_ops_s = ops / planned.elapsed_s.max(1e-9);
+    let speedup = planned_ops_s / raw_ops_s.max(1e-9) - 1.0;
+    let saved =
+        1.0 - planned.stats.bytes_written() as f64 / raw.stats.bytes_written().max(1) as f64;
+
+    let mut table = Table::new(
+        "batch pipeline: raw replay vs planned batches".to_string(),
+        &[
+            "mode",
+            "ops/s",
+            "bytes written",
+            "coalesced",
+            "cancelled",
+            "elapsed s",
+        ],
+    );
+    for (name, r, ops_s) in [
+        ("raw", &raw, raw_ops_s),
+        ("planned", &planned, planned_ops_s),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            fmt_u64(ops_s as u64),
+            fmt_u64(r.stats.bytes_written()),
+            fmt_u64(r.stats.requests_coalesced()),
+            fmt_u64(r.stats.requests_cancelled()),
+            fmt2(r.elapsed_s),
+        ]);
+    }
+    table.print();
+
+    let bytes_ok = saved >= 0.20;
+    let throughput_ok = !scale.gate_throughput || speedup >= 0.10;
+    let pass = bytes_ok && throughput_ok;
+    println!(
+        "\n  ops/s {:+.1}% (target ≥ +10%{}); bytes written {:.1}% fewer \
+         (target ≥ 20%) {}",
+        100.0 * speedup,
+        if scale.gate_throughput {
+            ""
+        } else {
+            ", not gated in smoke"
+        },
+        100.0 * saved,
+        realloc_bench::verdict(pass),
+    );
+
+    let mut doc = Json::obj();
+    doc.set("bench", "batch_pipeline")
+        .set("smoke", !scale.gate_throughput)
+        .set("requests", workload.len())
+        .set("raw", side(&raw, raw_ops_s))
+        .set("planned", side(&planned, planned_ops_s))
+        .set("speedup", speedup)
+        .set("bytes_saved_frac", saved)
+        .set("pass", pass);
+    let path = "BENCH_batch_pipeline.json";
+    match export(path, &doc) {
+        Ok(()) => println!("  exported {path} (re-parsed OK)"),
+        Err(e) => {
+            eprintln!("  export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

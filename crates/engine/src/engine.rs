@@ -59,6 +59,13 @@ pub struct EngineConfig {
     /// device ([`DeviceProfile::build`] runs inside each worker thread).
     /// `None` (the default) records counts and wall-clock only.
     pub device: Option<DeviceProfile>,
+    /// Fold every batch through the intra-batch coalescing planner
+    /// ([`crate::plan`]) before it touches the reallocator: delete +
+    /// reinsert chains collapse to a single resize (or nothing, at an
+    /// unchanged size) and insert + delete chains are cancelled outright.
+    /// Off by default — coalescing elides work, so per-request ledgers
+    /// record the *planned* stream, not the raw one.
+    pub coalesce: bool,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +78,7 @@ impl Default for EngineConfig {
             substrate: None,
             telemetry: true,
             device: None,
+            coalesce: false,
         }
     }
 }
@@ -109,6 +117,13 @@ impl EngineConfig {
     /// This configuration pricing op streams against `device`.
     pub fn with_device(mut self, device: DeviceProfile) -> Self {
         self.device = Some(device);
+        self
+    }
+
+    /// This configuration with intra-batch coalescing enabled (see
+    /// [`coalesce`](Self::coalesce)).
+    pub fn coalescing(mut self) -> Self {
+        self.coalesce = true;
         self
     }
 }
@@ -499,6 +514,7 @@ impl Engine {
             realloc,
             substrate,
             self.config.record_ledger,
+            self.config.coalesce,
             journal,
             recoveries,
             telemetry,
@@ -575,6 +591,7 @@ impl Engine {
         let shard = self.router.route(req.id());
         self.pending[shard].push(req);
         if self.pending[shard].len() >= self.config.batch {
+            // Fast path: a full buffer ships whole, no planning needed.
             let batch = std::mem::replace(
                 &mut self.pending[shard],
                 Vec::with_capacity(self.config.batch),
@@ -587,8 +604,49 @@ impl Engine {
             if self.session.is_some() {
                 self.step_session()?;
             }
+            return Ok(());
+        }
+        self.plan_flush()
+    }
+
+    /// Planned flush scheduling across the whole pending set — the Bε-tree
+    /// `plan_flush` idiom applied to shard buffers: nothing ships while
+    /// total buffered work is below the watermark (half the fleet's batch
+    /// capacity); past it, the *fullest* buffer flushes, and never below
+    /// half a batch. Skewed traffic thus stops hoarding its backlog until
+    /// the full-batch fast path triggers, while uniform trickles still
+    /// build usefully sized batches instead of degenerating to per-request
+    /// sends.
+    fn plan_flush(&mut self) -> Result<(), EngineError> {
+        let watermark = (self.senders.len() * self.config.batch / 2).max(1);
+        let total: usize = self.pending.iter().map(Vec::len).sum();
+        if total < watermark {
+            return Ok(());
+        }
+        let Some(shard) = (0..self.pending.len()).max_by_key(|&s| self.pending[s].len()) else {
+            return Ok(());
+        };
+        let Some(take) = Self::planned_take(self.pending[shard].len(), self.config.batch) else {
+            return Ok(());
+        };
+        let batch: Vec<Request> = self.pending[shard].drain(..take).collect();
+        self.send(shard, Command::Batch(batch))?;
+        // Same session pacing rule as the full-batch fast path.
+        if self.session.is_some() {
+            self.step_session()?;
         }
         Ok(())
+    }
+
+    /// How much of an `n`-request buffer a planned flush ships: nothing
+    /// below half a batch (let it keep filling), at most one batch, and
+    /// everything in between ships whole.
+    fn planned_take(n: usize, batch: usize) -> Option<usize> {
+        if n < batch / 2 {
+            None
+        } else {
+            Some(n.min(batch))
+        }
     }
 
     fn send(&self, shard: usize, cmd: Command) -> Result<(), EngineError> {
@@ -904,12 +962,32 @@ impl Engine {
         let shards = self.senders.len();
         let router = self.router.as_ref();
         let parts = workload_gen::shard::split_with(workload, shards, |id| router.route(id));
+        self.drive_streams(parts.into_iter().map(|p| p.requests).collect())
+    }
+
+    /// Feeds pre-split per-shard request streams (`streams[s]` belongs to
+    /// shard `s`, in order): one full batch per shard per round, each round
+    /// dispatched deepest-backlog-first, so the stream with the most work
+    /// left hits its queue soonest and no worker idles while another's
+    /// stream drains. Shared by [`drive`](Engine::drive) and the
+    /// crash-recovery reseed, which splits by journaled ownership instead
+    /// of routing.
+    ///
+    /// # Panics
+    /// Panics if there are more streams than shards.
+    pub(crate) fn drive_streams(&mut self, streams: Vec<Vec<Request>>) -> Result<(), EngineError> {
+        assert!(
+            streams.len() <= self.senders.len(),
+            "more streams than shards"
+        );
         let batch = self.config.batch;
-        let mut cursor = vec![0usize; shards];
+        let mut cursor = vec![0usize; streams.len()];
+        let mut order: Vec<usize> = (0..streams.len()).collect();
         loop {
+            order.sort_by_key(|&s| std::cmp::Reverse(streams[s].len() - cursor[s]));
             let mut done = true;
-            for (shard, part) in parts.iter().enumerate() {
-                let reqs = &part.requests;
+            for &shard in &order {
+                let reqs = &streams[shard];
                 if cursor[shard] < reqs.len() {
                     done = false;
                     let end = (cursor[shard] + batch).min(reqs.len());

@@ -108,6 +108,7 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod plan;
 pub mod rebalance;
 pub mod recover;
 pub mod shard;

@@ -104,6 +104,11 @@ pub(crate) struct ShardTelemetry {
     pub commit_latency_ns: Histogram,
     /// Records per non-empty WAL group commit (the coalescing factor).
     pub commit_records: Histogram,
+    /// Raw requests per `Command::Batch`, before batch planning.
+    pub batch_raw_requests: Histogram,
+    /// Requests actually applied per `Command::Batch` after the planner
+    /// folded the batch (equal to the raw count with coalescing off).
+    pub batch_planned_requests: Histogram,
     pub serve_sim_us: f64,
     pub migrate_sim_us: f64,
     pub wal_commit_sim_us: f64,
@@ -119,6 +124,8 @@ impl ShardTelemetry {
             batch_sim_us: Histogram::new(),
             commit_latency_ns: Histogram::new(),
             commit_records: Histogram::new(),
+            batch_raw_requests: Histogram::new(),
+            batch_planned_requests: Histogram::new(),
             serve_sim_us: 0.0,
             migrate_sim_us: 0.0,
             wal_commit_sim_us: 0.0,
@@ -149,6 +156,8 @@ impl ShardTelemetry {
             wal_commit_sim_us: self.wal_commit_sim_us,
             batch_sim_us: self.batch_sim_us.snapshot(),
             commit_records: self.commit_records.snapshot(),
+            batch_raw_requests: self.batch_raw_requests.snapshot(),
+            batch_planned_requests: self.batch_planned_requests.snapshot(),
             batch_service_ns: self.batch_service_ns.snapshot(),
             commit_latency_ns: self.commit_latency_ns.snapshot(),
             intake_stall_ns: HistogramSnapshot::empty(),
@@ -184,6 +193,15 @@ pub struct ShardMetrics {
     /// Records per non-empty WAL group commit (deterministic; the
     /// group-commit coalescing factor is its mean).
     pub commit_records: HistogramSnapshot,
+    /// Raw requests per served batch, before planning (deterministic).
+    pub batch_raw_requests: HistogramSnapshot,
+    /// Requests applied per served batch after the coalescing planner
+    /// folded it (deterministic; the planned-vs-raw gap is the batch
+    /// pipeline's win — equal to [`batch_raw_requests`] with coalescing
+    /// off).
+    ///
+    /// [`batch_raw_requests`]: Self::batch_raw_requests
+    pub batch_planned_requests: HistogramSnapshot,
     /// Wall-clock nanoseconds per served batch (observation).
     pub batch_service_ns: HistogramSnapshot,
     /// Wall-clock nanoseconds per non-empty WAL group commit
@@ -205,6 +223,8 @@ impl PartialEq for ShardMetrics {
             && self.wal_commit_sim_us == other.wal_commit_sim_us
             && self.batch_sim_us == other.batch_sim_us
             && self.commit_records == other.commit_records
+            && self.batch_raw_requests == other.batch_raw_requests
+            && self.batch_planned_requests == other.batch_planned_requests
     }
 }
 
@@ -219,6 +239,8 @@ impl ShardMetrics {
             wal_commit_sim_us: 0.0,
             batch_sim_us: HistogramSnapshot::empty(),
             commit_records: HistogramSnapshot::empty(),
+            batch_raw_requests: HistogramSnapshot::empty(),
+            batch_planned_requests: HistogramSnapshot::empty(),
             batch_service_ns: HistogramSnapshot::empty(),
             commit_latency_ns: HistogramSnapshot::empty(),
             intake_stall_ns: HistogramSnapshot::empty(),
@@ -241,6 +263,12 @@ impl ShardMetrics {
             wal_commit_sim_us: (self.wal_commit_sim_us - prev.wal_commit_sim_us).max(0.0),
             batch_sim_us: self.batch_sim_us.delta_since(&prev.batch_sim_us),
             commit_records: self.commit_records.delta_since(&prev.commit_records),
+            batch_raw_requests: self
+                .batch_raw_requests
+                .delta_since(&prev.batch_raw_requests),
+            batch_planned_requests: self
+                .batch_planned_requests
+                .delta_since(&prev.batch_planned_requests),
             batch_service_ns: self.batch_service_ns.delta_since(&prev.batch_service_ns),
             commit_latency_ns: self.commit_latency_ns.delta_since(&prev.commit_latency_ns),
             intake_stall_ns: self.intake_stall_ns.delta_since(&prev.intake_stall_ns),
@@ -338,14 +366,19 @@ impl MetricsSnapshot {
 
     /// The machine export behind `realloc-sim engine --metrics-json`.
     ///
-    /// Schema (`"schema": 1`): `counters` are fleet-wide sums,
+    /// Schema (`"schema": 2`): `counters` are fleet-wide sums,
     /// `gauges` current values, `sim_time_us` the device-priced totals,
     /// `per_shard` one object per shard with its histograms (each with
     /// `count`/`sum`/`min`/`max`, `p50`–`p999`, and raw log₂ `buckets`
     /// trimmed of trailing zeros), `events` the journal tail.
+    ///
+    /// Schema history: 2 added the batch-pipeline surface — the
+    /// `batch_requests_coalesced` / `batch_requests_cancelled` counters and
+    /// the per-shard `batch_raw_requests` / `batch_planned_requests`
+    /// histograms; 1 was the original export.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
-        root.set("schema", 1u64);
+        root.set("schema", 2u64);
         root.set(
             "device",
             match self.device {
@@ -359,6 +392,8 @@ impl MetricsSnapshot {
         let mut counters = Json::obj();
         counters.set("requests", self.stats.requests());
         counters.set("batches", self.stats.batches());
+        counters.set("batch_requests_coalesced", self.stats.requests_coalesced());
+        counters.set("batch_requests_cancelled", self.stats.requests_cancelled());
         counters.set("errors", self.stats.errors());
         counters.set("total_moves", self.stats.total_moves());
         counters.set("total_moved_volume", self.stats.total_moved_volume());
@@ -417,6 +452,11 @@ impl MetricsSnapshot {
                 shard.set("wal_commit_sim_us", m.wal_commit_sim_us);
                 shard.set("batch_sim_us", histogram_json(&m.batch_sim_us));
                 shard.set("commit_records", histogram_json(&m.commit_records));
+                shard.set("batch_raw_requests", histogram_json(&m.batch_raw_requests));
+                shard.set(
+                    "batch_planned_requests",
+                    histogram_json(&m.batch_planned_requests),
+                );
                 shard.set("batch_service_ns", histogram_json(&m.batch_service_ns));
                 shard.set("commit_latency_ns", histogram_json(&m.commit_latency_ns));
                 shard.set("intake_stall_ns", histogram_json(&m.intake_stall_ns));
@@ -484,6 +524,12 @@ impl ShardStats {
             algorithm: self.algorithm,
             requests: self.requests.saturating_sub(prev.requests),
             batches: self.batches.saturating_sub(prev.batches),
+            requests_coalesced: self
+                .requests_coalesced
+                .saturating_sub(prev.requests_coalesced),
+            requests_cancelled: self
+                .requests_cancelled
+                .saturating_sub(prev.requests_cancelled),
             errors: self.errors.saturating_sub(prev.errors),
             live_count: self.live_count,
             live_volume: self.live_volume,

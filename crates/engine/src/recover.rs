@@ -289,13 +289,18 @@ impl Engine {
         // The derived router lands every insert on its owner, workers
         // journal the reseeding appends (a crash mid-recovery just
         // recovers again), and the closing quiesce checkpoints the rebuilt
-        // state and truncates the logs.
+        // state and truncates the logs. Ownership is already known, so the
+        // inserts are pre-split into per-shard streams and dispatched a
+        // batch per shard per round — every worker reseeds in parallel
+        // instead of one object at a time through the router.
         spans.begin(None, "recover.reseed", report.objects);
+        let mut streams: Vec<Vec<workload_gen::Request>> = vec![Vec::new(); config.shards];
+        for (&id, &(shard, size, _)) in &owner {
+            streams[shard].push(workload_gen::Request::Insert { id, size });
+        }
         let mut engine = Engine::build(config, Box::new(router), factory, Some(dir), 1)?;
         engine.set_xfer_seq(max_xfer + 1);
-        for (id, (_, size, _)) in owner {
-            engine.insert(id, size)?;
-        }
+        engine.drive_streams(streams)?;
         engine.quiesce()?;
         report.substrate = engine.verify_substrate()?;
         spans.end(None, "recover.reseed", report.volume);

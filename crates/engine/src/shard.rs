@@ -30,6 +30,7 @@ use storage_sim::{checksum, pattern_for, Checkpoint, CheckpointEntry, WalRecord,
 use workload_gen::Request;
 
 use crate::metrics::{ShardMetrics, ShardTelemetry, SimLane};
+use crate::plan::BatchPlan;
 use crate::rebalance::DefragSummary;
 use crate::stats::ShardStats;
 use crate::substrate::{ShardSubstrate, SubstrateReport, Transfer, TransferPayload};
@@ -210,6 +211,9 @@ pub(crate) struct ShardWorker {
     /// single `Option` check.
     telemetry: Option<ShardTelemetry>,
     record_ledger: bool,
+    /// Fold every batch through the coalescing planner
+    /// ([`crate::plan::BatchPlan`]) before touching the reallocator.
+    coalesce: bool,
     ledger: Ledger,
     /// Ids this shard believes live, by request history. The `Reallocator`
     /// trait cannot enumerate objects, so the worker tracks the population
@@ -217,6 +221,11 @@ pub(crate) struct ShardWorker {
     live: HashSet<ObjectId>,
     requests: u64,
     batches: u64,
+    /// Valid requests the planner merged within surviving chains.
+    requests_coalesced: u64,
+    /// Valid requests the planner cancelled outright (insert + delete of an
+    /// object that never existed outside its batch).
+    requests_cancelled: u64,
     errors: u64,
     first_error: Option<ShardError>,
     moves: u64,
@@ -233,11 +242,13 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
+    #[allow(clippy::too_many_arguments)] // one flat wiring point for the worker's collaborators
     pub(crate) fn new(
         shard: usize,
         realloc: Box<dyn Reallocator + Send>,
         substrate: Option<ShardSubstrate>,
         record_ledger: bool,
+        coalesce: bool,
         journal: Option<ShardJournal>,
         recoveries: u64,
         telemetry: Option<ShardTelemetry>,
@@ -251,10 +262,13 @@ impl ShardWorker {
             first_substrate_error: None,
             telemetry,
             record_ledger,
+            coalesce,
             ledger: Ledger::new(),
             live: HashSet::new(),
             requests: 0,
             batches: 0,
+            requests_coalesced: 0,
+            requests_cancelled: 0,
             errors: 0,
             first_error: None,
             moves: 0,
@@ -280,9 +294,15 @@ impl ShardWorker {
                         t.batch_sim_accum = 0.0;
                         std::time::Instant::now()
                     });
-                    for req in reqs {
-                        self.serve(req);
-                    }
+                    let raw = reqs.len() as u64;
+                    let applied = if self.coalesce {
+                        self.serve_planned(reqs)
+                    } else {
+                        for req in reqs {
+                            self.serve(req);
+                        }
+                        raw
+                    };
                     if self
                         .substrate
                         .as_ref()
@@ -294,6 +314,8 @@ impl ShardWorker {
                     // durable frame — one fsync per batch, not per op.
                     self.wal_commit();
                     if let (Some(t), Some(start)) = (self.telemetry.as_mut(), started) {
+                        t.batch_raw_requests.record(raw);
+                        t.batch_planned_requests.record(applied);
                         t.batch_service_ns.record(start.elapsed().as_nanos() as u64);
                         if t.device.is_some() {
                             t.batch_sim_us.record(t.batch_sim_accum.round() as u64);
@@ -645,12 +667,52 @@ impl ShardWorker {
         extents
     }
 
-    /// Serves one request, mirroring the single-threaded harness's ledger
-    /// accounting exactly (same fields, same query points) so a sharded run
-    /// is priceable the same way as a standalone one.
+    /// Folds one batch through the coalescing planner and serves only the
+    /// net requests (see [`crate::plan`]). Every raw request is still
+    /// counted and error-checked at its own stream index — the planner
+    /// simulates liveness, so rejections land exactly where an uncoalesced
+    /// run would report them — but merged and cancelled requests never
+    /// reach the reallocator, the substrate, or the WAL. Returns the number
+    /// of planned requests actually applied.
+    fn serve_planned(&mut self, reqs: Vec<Request>) -> u64 {
+        let base = self.requests;
+        self.requests += reqs.len() as u64;
+        let plan = {
+            let live = &self.live;
+            let realloc = &*self.realloc;
+            BatchPlan::build(&reqs, |id| {
+                live.contains(&id)
+                    .then(|| realloc.extent_of(id).map_or(0, |e| e.len))
+            })
+        };
+        for predicted in &plan.errors {
+            self.errors += 1;
+            self.first_error.get_or_insert(ShardError {
+                index: base + predicted.offset,
+                error: predicted.error,
+            });
+        }
+        self.requests_coalesced += plan.coalesced;
+        self.requests_cancelled += plan.cancelled;
+        let applied = plan.applied();
+        for (offset, req) in plan.planned {
+            self.serve_at(base + offset, req);
+        }
+        applied
+    }
+
+    /// Serves one request at the next stream index.
     fn serve(&mut self, req: Request) {
         let index = self.requests;
         self.requests += 1;
+        self.serve_at(index, req);
+    }
+
+    /// Serves one request at stream index `index`, mirroring the
+    /// single-threaded harness's ledger accounting exactly (same fields,
+    /// same query points) so a sharded run is priceable the same way as a
+    /// standalone one.
+    fn serve_at(&mut self, index: u64, req: Request) {
         let (kind, request_size, allocated, result) = match req {
             Request::Insert { id, size } => (
                 OpKind::Insert,
@@ -919,6 +981,8 @@ impl ShardWorker {
             algorithm: self.realloc.name(),
             requests: self.requests,
             batches: self.batches,
+            requests_coalesced: self.requests_coalesced,
+            requests_cancelled: self.requests_cancelled,
             errors: self.errors,
             live_count: self.realloc.live_count(),
             live_volume: self.realloc.live_volume(),

@@ -18,6 +18,15 @@ pub struct ShardStats {
     pub requests: u64,
     /// Batches received over the channel.
     pub batches: u64,
+    /// Requests the batch planner merged within surviving chains (a
+    /// delete + reinsert collapsed into one resize, or elided entirely at
+    /// an unchanged size). Zero unless the engine runs
+    /// [`coalescing`](crate::EngineConfig::coalescing).
+    pub requests_coalesced: u64,
+    /// Requests the batch planner cancelled outright: insert + delete
+    /// chains of an object that never existed outside its batch, which
+    /// therefore never touched the reallocator, substrate, or WAL.
+    pub requests_cancelled: u64,
     /// Requests rejected by the reallocator (duplicate/unknown id, zero
     /// size). The first one is surfaced as an [`crate::EngineError`].
     pub errors: u64,
@@ -119,6 +128,16 @@ impl EngineStats {
     /// Total batches delivered across shards.
     pub fn batches(&self) -> u64 {
         self.per_shard.iter().map(|s| s.batches).sum()
+    }
+
+    /// Total requests merged by batch planners across shards.
+    pub fn requests_coalesced(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.requests_coalesced).sum()
+    }
+
+    /// Total requests cancelled by batch planners across shards.
+    pub fn requests_cancelled(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.requests_cancelled).sum()
     }
 
     /// Total rejected requests across shards.
@@ -344,6 +363,8 @@ mod tests {
             algorithm: "test",
             requests: 10,
             batches: 2,
+            requests_coalesced: 0,
+            requests_cancelled: 0,
             errors: 0,
             live_count: 3,
             live_volume: volume,

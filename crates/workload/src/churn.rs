@@ -159,6 +159,84 @@ fn generate(
     )
 }
 
+/// Churn built to *coalesce*: most ops touch a live object by deleting it
+/// and immediately reinserting the **same id** (new size three times out
+/// of four, the old size otherwise), and a slice of the traffic inserts a
+/// transient object it deletes on the very next request. A batch planner
+/// folds a touch into one resize (or nothing, when the size is unchanged)
+/// and cancels a transient outright; the remaining ops are plain churn so
+/// the population still drifts. Op mix per churn op: 50% touch, 20%
+/// transient, 30% plain insert-or-delete toward `target_volume`.
+///
+/// Reusing an id after its delete violates [`Workload::validate`]'s
+/// fresh-ids rule by design — check these workloads with
+/// [`Workload::validate_reuse`], which only demands liveness correctness.
+pub fn coalescible_churn(config: &ChurnConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ids = IdSource::new();
+    let mut requests = Vec::new();
+    let mut live: Vec<(ObjectId, u64)> = Vec::new();
+    let mut volume = 0u64;
+
+    let fresh = |rng: &mut StdRng,
+                 requests: &mut Vec<Request>,
+                 live: &mut Vec<(ObjectId, u64)>,
+                 volume: &mut u64,
+                 ids: &mut IdSource| {
+        let size = config.dist.sample(rng);
+        let id = ids.fresh();
+        requests.push(Request::Insert { id, size });
+        live.push((id, size));
+        *volume += size;
+    };
+
+    while volume < config.target_volume {
+        fresh(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+    }
+
+    for _ in 0..config.churn_ops {
+        let roll = rng.random_range(0u32..10);
+        if roll < 5 && !live.is_empty() {
+            // Touch: delete + reinsert of one live id, back to back.
+            let idx = rng.random_range(0..live.len());
+            let (id, old) = live.swap_remove(idx);
+            requests.push(Request::Delete { id });
+            let size = if rng.random_range(0u32..4) == 0 {
+                old
+            } else {
+                config.dist.sample(&mut rng)
+            };
+            requests.push(Request::Insert { id, size });
+            live.push((id, size));
+            volume = volume - old + size;
+        } else if roll < 7 {
+            // Transient: born and gone within two requests.
+            let size = config.dist.sample(&mut rng);
+            let id = ids.fresh();
+            requests.push(Request::Insert { id, size });
+            requests.push(Request::Delete { id });
+        } else if volume >= config.target_volume && !live.is_empty() {
+            let idx = rng.random_range(0..live.len());
+            let (id, size) = live.swap_remove(idx);
+            requests.push(Request::Delete { id });
+            volume -= size;
+        } else {
+            fresh(&mut rng, &mut requests, &mut live, &mut volume, &mut ids);
+        }
+    }
+
+    Workload::new(
+        format!(
+            "coalescible-churn({}, V≈{}, {} ops, seed {})",
+            config.dist.label(),
+            config.target_volume,
+            config.churn_ops,
+            config.seed
+        ),
+        requests,
+    )
+}
+
 /// A pure growth workload: `count` inserts, no deletes.
 pub fn grow_only(dist: &SizeDist, count: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -351,6 +429,49 @@ mod tests {
         let w = skewed_churn(&cfg(2), |_| true);
         assert!(w.validate().is_ok());
         assert!(w.stats().deletes > 0);
+    }
+
+    #[test]
+    fn coalescible_churn_is_liveness_correct_and_reuses_ids() {
+        let w = coalescible_churn(&cfg(6));
+        assert!(w.validate_reuse().is_ok());
+        // The whole point is id reuse, which the strict rule must reject.
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn coalescible_churn_is_deterministic_per_seed() {
+        assert_eq!(
+            coalescible_churn(&cfg(7)).requests,
+            coalescible_churn(&cfg(7)).requests
+        );
+        assert_ne!(
+            coalescible_churn(&cfg(7)).requests,
+            coalescible_churn(&cfg(8)).requests
+        );
+    }
+
+    #[test]
+    fn coalescible_churn_has_adjacent_foldable_pairs() {
+        let w = coalescible_churn(&cfg(9));
+        // Count back-to-back Delete{id}, Insert{id} pairs (touches) and
+        // Insert{id}, Delete{id} pairs (transients): the generator exists
+        // to produce them, so they must dominate the churn phase.
+        let mut touches = 0usize;
+        let mut transients = 0usize;
+        for pair in w.requests.windows(2) {
+            match (pair[0], pair[1]) {
+                (Request::Delete { id }, Request::Insert { id: re, .. }) if id == re => {
+                    touches += 1;
+                }
+                (Request::Insert { id, .. }, Request::Delete { id: gone }) if id == gone => {
+                    transients += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(touches > 2_000 / 4, "only {touches} touches");
+        assert!(transients > 2_000 / 10, "only {transients} transients");
     }
 
     #[test]

@@ -119,6 +119,31 @@ impl Workload {
         Ok(())
     }
 
+    /// [`Workload::validate`] with the fresh-id rule relaxed to liveness:
+    /// an insert may recycle an id *after* its delete, it just cannot name
+    /// a currently-live one. This is the contract of the coalescible
+    /// workloads ([`crate::churn::coalescible_churn`]), whose
+    /// delete-then-reinsert touches deliberately reuse names so a batch
+    /// planner can fold the pair into one resize.
+    pub fn validate_reuse(&self) -> Result<(), usize> {
+        let mut live = std::collections::HashSet::new();
+        for (i, req) in self.requests.iter().enumerate() {
+            match *req {
+                Request::Insert { id, size } => {
+                    if size == 0 || !live.insert(id) {
+                        return Err(i);
+                    }
+                }
+                Request::Delete { id } => {
+                    if !live.remove(&id) {
+                        return Err(i);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Summary statistics via prefix simulation.
     pub fn stats(&self) -> WorkloadStats {
         let mut sizes = std::collections::HashMap::new();

@@ -53,7 +53,7 @@ fn piped_input() -> Option<String> {
 
 /// Generates an export to validate: two shards of churn, ssd-priced.
 fn self_scrape() -> String {
-    let mut config = EngineConfig::with_shards(2);
+    let mut config = EngineConfig::with_shards(2).coalescing();
     config.device = Some(DeviceProfile::Ssd);
     let mut engine = Engine::new(config, |_| Box::new(CostObliviousReallocator::new(0.25)));
     let workload = churn(&ChurnConfig {
@@ -72,7 +72,7 @@ fn self_scrape() -> String {
 fn validate(doc: &Json) {
     assert_eq!(
         doc.get("schema").and_then(Json::as_u64),
-        Some(1),
+        Some(2),
         "unknown schema version"
     );
     for key in [
@@ -92,6 +92,8 @@ fn validate(doc: &Json) {
     for key in [
         "requests",
         "batches",
+        "batch_requests_coalesced",
+        "batch_requests_cancelled",
         "errors",
         "total_moves",
         "total_moved_volume",
@@ -150,6 +152,8 @@ fn validate(doc: &Json) {
             "batch_service_ns",
             "commit_latency_ns",
             "intake_stall_ns",
+            "batch_raw_requests",
+            "batch_planned_requests",
         ] {
             let h = shard
                 .get(key)

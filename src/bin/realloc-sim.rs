@@ -28,6 +28,13 @@
 //!   --variant <alg>      any algorithm name above (default cost-oblivious)
 //!   --shards <n>         shard count (default 4)
 //!   --batch <n>          requests per channel batch (default 256)
+//!   --coalesce           plan each channel batch before applying it:
+//!                        delete+reinsert of an id folds to one resize,
+//!                        insert-then-delete cancels outright, repeated
+//!                        resizes collapse to the last size. The stats
+//!                        table grows coalesced/cancelled columns and the
+//!                        telemetry table reports raw vs planned batch
+//!                        sizes (acks and ledgers stay per-request)
 //!   --router <kind>      hash (default) or table (id → shard map with a
 //!                        rendezvous fallback; enables rebalancing)
 //!   --rebalance-every <n>  rebalance after every n requests (table router).
@@ -127,6 +134,7 @@ struct Args {
     variant: String,
     shards: usize,
     batch: usize,
+    coalesce: bool,
     router: String,
     rebalance_every: Option<usize>,
     online: bool,
@@ -158,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
         variant: "cost-oblivious".into(),
         shards: 4,
         batch: 256,
+        coalesce: false,
         router: "hash".into(),
         rebalance_every: None,
         online: false,
@@ -219,6 +228,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--batch must be positive".into());
                 }
             }
+            "--coalesce" if engine_mode => args.coalesce = true,
             "--router" if engine_mode => {
                 args.router = next("hash or table")?;
                 if args.router != "hash" && args.router != "table" {
@@ -416,6 +426,8 @@ fn print_metrics(snapshot: &MetricsSnapshot) {
             "svc p99 µs",
             "commit recs μ",
             "commit p99 µs",
+            "raw batch μ",
+            "plan batch μ",
             "stalls",
             "serve sim µs",
             "migr sim µs",
@@ -429,6 +441,8 @@ fn print_metrics(snapshot: &MetricsSnapshot) {
             fmt2(m.batch_service_ns.p99() / 1_000.0),
             fmt2(m.commit_records.mean()),
             fmt2(m.commit_latency_ns.p99() / 1_000.0),
+            fmt2(m.batch_raw_requests.mean()),
+            fmt2(m.batch_planned_requests.mean()),
             fmt_u64(m.intake_stall_ns.count),
             fmt2(m.serve_sim_us),
             fmt2(m.migrate_sim_us),
@@ -652,6 +666,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     let config = EngineConfig {
         shards: args.shards,
         batch: args.batch,
+        coalesce: args.coalesce,
         substrate,
         device: args.device,
         ..Default::default()
@@ -682,11 +697,12 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     if !quiet {
         println!("workload:  {} ({} requests)", workload.name, workload.len());
         println!(
-            "engine:    {} × {} shards (ε = {}, batch = {}, router = {})",
+            "engine:    {} × {} shards (ε = {}, batch = {}{}, router = {})",
             args.variant,
             args.shards,
             args.eps,
             args.batch,
+            if args.coalesce { " coalesced" } else { "" },
             engine.router().name()
         );
         if let Some(device) = args.device {
@@ -815,10 +831,15 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             .collect(),
     };
     let with_bytes = substrate_reports.is_some();
-    let mut headers = vec![
-        "shard",
-        "requests",
-        "batches",
+    let with_plan = args.coalesce;
+    let mut headers = vec!["shard", "requests", "batches"];
+    if with_plan {
+        // The planning columns only exist under --coalesce: requests the
+        // batch planner folded into a surviving op, and requests whose
+        // insert+delete pair cancelled without touching the reallocator.
+        headers.extend(["coalesced", "cancelled"]);
+    }
+    headers.extend([
         "objects",
         "volume",
         "footprint",
@@ -828,7 +849,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         "moved vol",
         "migr in",
         "migr out",
-    ];
+    ]);
     if with_bytes {
         // The physical-I/O columns only exist when shards run substrates:
         // `bytes w` counts every cell physically written (allocations,
@@ -839,10 +860,12 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     headers.push("ratio");
     let mut table = Table::new(format!("per-shard stats ({})", args.variant), &headers);
     let row = |label: String, s: &ShardStats| {
-        let mut cells = vec![
-            label,
-            fmt_u64(s.requests),
-            fmt_u64(s.batches),
+        let mut cells = vec![label, fmt_u64(s.requests), fmt_u64(s.batches)];
+        if with_plan {
+            cells.push(fmt_u64(s.requests_coalesced));
+            cells.push(fmt_u64(s.requests_cancelled));
+        }
+        cells.extend([
             fmt_u64(s.live_count as u64),
             fmt_u64(s.live_volume),
             fmt_u64(s.footprint),
@@ -852,7 +875,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
             fmt_u64(s.total_moved_volume),
             fmt_u64(s.migrations_in),
             fmt_u64(s.migrations_out),
-        ];
+        ]);
         if with_bytes {
             cells.push(fmt_u64(s.substrate_bytes_written));
             cells.push(fmt_u64(s.substrate_bytes_in));
@@ -872,6 +895,12 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         "Σ".into(),
         fmt_u64(stats.requests()),
         fmt_u64(stats.batches()),
+    ];
+    if with_plan {
+        aggregate.push(fmt_u64(stats.requests_coalesced()));
+        aggregate.push(fmt_u64(stats.requests_cancelled()));
+    }
+    aggregate.extend([
         fmt_u64(stats.live_count() as u64),
         fmt_u64(stats.live_volume()),
         fmt_u64(stats.footprint()),
@@ -881,7 +910,7 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
         fmt_u64(stats.total_moved_volume()),
         fmt_u64(stats.per_shard.iter().map(|s| s.migrations_in).sum()),
         fmt_u64(stats.per_shard.iter().map(|s| s.migrations_out).sum()),
-    ];
+    ]);
     if with_bytes {
         aggregate.push(fmt_u64(stats.bytes_written()));
         aggregate.push(fmt_u64(stats.bytes_migrated_in()));
@@ -966,7 +995,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: {e}\n\n\
                  usage: realloc-sim <algorithm> [--eps f] [--trace file | --churn vol ops] [--seed n] [--strict|--relaxed] [--crash-check]\n\
-                 \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--router hash|table]\n\
+                 \x20      realloc-sim engine [--variant alg] [--shards n] [--batch n] [--coalesce] [--router hash|table]\n\
                  \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
                  \x20                         [--resize n] [--defrag] [--substrate [relaxed|strict]] [--verify-cadence final|quiesce|batch]\n\
                  \x20                         [--wal-dir dir [--crash-after n]] [--metrics] [--metrics-json] [--device unit|disk|ssd]\n\
