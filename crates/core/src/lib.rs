@@ -14,13 +14,14 @@
 //! * total reallocation cost at most `O((1/ε) log(1/ε))` times the total
 //!   allocation cost (Theorem 2.1).
 //!
-//! ## The three variants
+//! ## The four variants
 //!
 //! | Type | Paper | Guarantee added |
 //! |------|-------|-----------------|
 //! | [`CostObliviousReallocator`] | §2 | the baseline amortized algorithm |
 //! | [`CheckpointedReallocator`] | §3.2 | durability: nonoverlapping moves, the freed-space rule, `O(1/ε)` checkpoints per flush, `+∆` space |
 //! | [`DeamortizedReallocator`] | §3.3 | worst-case per-update cost `O((1/ε)·w·f(1) + f(∆))` |
+//! | [`NearlyQuadraticReallocator`] | FS 2024 | hole recycling: cancelling updates move nothing, `Õ(ε^{-1/2})`-shaped overhead on churn |
 //!
 //! plus [`defrag::defragment`], the Theorem 2.7 cost-oblivious defragmenter
 //! (sort objects by an arbitrary comparison function in `(1+ε)V + ∆` space).
@@ -43,6 +44,7 @@ pub mod checkpointed;
 pub mod deamortized;
 pub mod defrag;
 pub mod layout;
+pub mod nearly_quadratic;
 pub mod plan;
 pub mod render;
 pub mod validate;
@@ -52,6 +54,7 @@ pub use checkpointed::CheckpointedReallocator;
 pub use deamortized::DeamortizedReallocator;
 pub use defrag::{defragment, DefragReport};
 pub use layout::{Eps, RegionView, VolumeSummary};
+pub use nearly_quadratic::NearlyQuadraticReallocator;
 pub use validate::InvariantViolation;
 
 // Every paper variant must stay `Send` so the sharded serving layer
@@ -61,4 +64,5 @@ const _: () = {
     assert_send::<CostObliviousReallocator>();
     assert_send::<CheckpointedReallocator>();
     assert_send::<DeamortizedReallocator>();
+    assert_send::<NearlyQuadraticReallocator>();
 };

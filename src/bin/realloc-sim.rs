@@ -7,7 +7,7 @@
 //! realloc-sim <algorithm> [options]
 //!
 //! algorithms: cost-oblivious | checkpointed | deamortized |
-//!             first-fit | best-fit | next-fit | buddy |
+//!             nearly-quadratic | first-fit | best-fit | next-fit | buddy |
 //!             log-compact | size-class-gaps
 //!
 //! options:
@@ -57,8 +57,9 @@
 //!                        own disjoint address window: physical ops replayed,
 //!                        migrations ship checksummed bytes, extents + bytes
 //!                        verified. rules: relaxed (default; any variant) or
-//!                        strict (§3.1 database rules; checkpointed/deamortized
-//!                        only — §2 legitimately violates them)
+//!                        strict (§3.1 database rules; checkpointed,
+//!                        deamortized, or nearly-quadratic only — §2
+//!                        legitimately violates them)
 //!   --wal-dir <dir>      durability: every shard journals each physical op
 //!                        and route flip to its own write-ahead log under
 //!                        <dir>, group-committing once per served batch;
@@ -109,10 +110,11 @@ use realloc_bench::{fmt2, fmt_u64, Table};
 use storage_realloc::prelude::*;
 
 fn make_algorithm(name: &str, eps: f64) -> Option<Box<dyn Reallocator + Send>> {
+    // Paper variants resolve through the shared registry; baselines here.
+    if let Some(r) = build_variant(name, eps) {
+        return Some(r);
+    }
     Some(match name {
-        "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
-        "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
-        "deamortized" => Box::new(DeamortizedReallocator::new(eps)),
         "first-fit" => Box::new(FreeListAllocator::new(FitStrategy::FirstFit)),
         "best-fit" => Box::new(FreeListAllocator::new(FitStrategy::BestFit)),
         "next-fit" => Box::new(FreeListAllocator::new(FitStrategy::NextFit)),
@@ -372,13 +374,11 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
-    if args.substrate == Some(Mode::Strict)
-        && !matches!(args.variant.as_str(), "checkpointed" | "deamortized")
-    {
+    if args.substrate == Some(Mode::Strict) && !variant_is_strict_safe(&args.variant) {
         return Err(
-            "--substrate strict needs --variant checkpointed or deamortized \
-             (the §2 algorithm and the baselines legitimately violate the \
-             database rules — that is why §3 exists)"
+            "--substrate strict needs --variant checkpointed, deamortized, or \
+             nearly-quadratic (the §2 algorithm and the baselines legitimately \
+             violate the database rules — that is why §3 exists)"
                 .into(),
         );
     }

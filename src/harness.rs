@@ -10,13 +10,49 @@
 use std::collections::HashSet;
 use std::path::Path;
 
-use realloc_common::{Ledger, ObjectId, OpKind, Reallocator, StorageOp};
+use realloc_common::{BoxedReallocator, Ledger, ObjectId, OpKind, Reallocator, StorageOp};
+use realloc_core::{
+    CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator,
+    NearlyQuadraticReallocator,
+};
 use storage_sim::wal::{checkpoint_path, wal_path, write_checkpoint};
 use storage_sim::{
     checksum, pattern_for, Checkpoint, CheckpointEntry, DataStore, Mode, SimStore, Violation,
     WalRecord, WalWriter,
 };
 use workload_gen::{Request, Workload};
+
+/// Canonical registry names of the paper-variant reallocators, in
+/// chronological order: §2 amortized, §3.2 checkpointed, §3.3 deamortized,
+/// and the 2024 nearly-quadratic adaptation. Every variant-parameterized
+/// test suite, bench, and the CLI iterate or resolve against this one list,
+/// so adding a fifth variant here enrolls it everywhere at once.
+pub const VARIANTS: [&str; 4] = [
+    "cost-oblivious",
+    "checkpointed",
+    "deamortized",
+    "nearly-quadratic",
+];
+
+/// Builds the named variant at footprint slack `eps`, or `None` for an
+/// unknown name. The one constructor shared by the CLI, the test gauntlet,
+/// and the benches.
+pub fn build_variant(name: &str, eps: f64) -> Option<BoxedReallocator> {
+    Some(match name {
+        "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
+        "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
+        "deamortized" => Box::new(DeamortizedReallocator::new(eps)),
+        "nearly-quadratic" => Box::new(NearlyQuadraticReallocator::new(eps)),
+        _ => return None,
+    })
+}
+
+/// Whether the named variant's op streams obey the §3.1 database rules
+/// (nonoverlapping moves, the freed-space rule) and may therefore run on a
+/// strict substrate. The §2 amortized variant uses memmove semantics.
+pub fn variant_is_strict_safe(name: &str) -> bool {
+    matches!(name, "checkpointed" | "deamortized" | "nearly-quadratic")
+}
 
 /// What the driver should do besides accounting.
 #[derive(Debug, Clone, Copy, Default)]

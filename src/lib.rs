@@ -59,6 +59,7 @@ pub mod prelude {
     };
     pub use crate::core::{
         defragment, CheckpointedReallocator, CostObliviousReallocator, DeamortizedReallocator,
+        NearlyQuadraticReallocator,
     };
     pub use crate::cost::{standard_suite, CostFn};
     pub use crate::engine::{
@@ -67,7 +68,9 @@ pub mod prelude {
         RebalancePolicy, RebalanceReport, RecoveryReport, ResizeReport, ShardMetrics, ShardStats,
         SubstrateConfig, SubstrateReport, TraceEvent, VerifyCadence,
     };
-    pub use crate::harness::{run_workload, RunConfig, RunResult};
+    pub use crate::harness::{
+        build_variant, run_workload, variant_is_strict_safe, RunConfig, RunResult, VARIANTS,
+    };
     pub use crate::sim::{checksum, pattern_for, AddressWindow, DataStore, Mode, SimStore};
     pub use crate::workloads::{Request, Workload};
 }

@@ -6,8 +6,10 @@
 //!
 //! * a property test drives randomized coalescible traffic (same-id
 //!   delete+reinsert touches, insert-then-delete transients, plain churn)
-//!   through a coalescing and an uncoalesced engine for all three paper
-//!   variants, and demands the same object population, the same per-object
+//!   through a coalescing and an uncoalesced engine for every paper
+//!   variant in the [`VARIANTS`] registry (same-id touches enabled for the
+//!   nearly-quadratic variant, whose hole recycling serves them without
+//!   deferral), and demands the same object population, the same per-object
 //!   substrate bytes, the same space telemetry, and the same ack count at
 //!   *every* quiesce barrier — not just at the end;
 //! * predicted errors: the planner simulates batch liveness to report
@@ -34,15 +36,8 @@ use storage_realloc::sim::WalRecord;
 use storage_realloc::workloads::churn::{coalescible_churn, ChurnConfig};
 use storage_realloc::workloads::dist::SizeDist;
 
-const VARIANTS: [&str; 3] = ["cost-oblivious", "checkpointed", "deamortized"];
-
 fn build(variant: &str, eps: f64) -> Box<dyn Reallocator + Send> {
-    match variant {
-        "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
-        "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
-        "deamortized" => Box::new(DeamortizedReallocator::new(eps)),
-        other => panic!("unknown variant {other}"),
-    }
+    build_variant(variant, eps).unwrap_or_else(|| panic!("unknown variant {variant}"))
 }
 
 /// Op encoding for the property strategy: `(kind, size)` where kind 0

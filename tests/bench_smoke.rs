@@ -22,11 +22,10 @@ fn standard_churn_drives_all_variants() {
     let w3 = standard_churn(5_000, 2_000, 43);
     assert_ne!(w.requests, w3.requests);
 
-    let mut algs: Vec<Box<dyn Reallocator>> = vec![
-        Box::new(CostObliviousReallocator::new(0.5)),
-        Box::new(CheckpointedReallocator::new(0.5)),
-        Box::new(DeamortizedReallocator::new(0.5)),
-    ];
+    let mut algs: Vec<Box<dyn Reallocator + Send>> = VARIANTS
+        .iter()
+        .map(|name| build_variant(name, 0.5).expect("registry name"))
+        .collect();
     for r in &mut algs {
         let result = run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
         assert_eq!(result.ledger.len(), w.len(), "{}", result.name);

@@ -1,18 +1,22 @@
 //! Cross-algorithm consistency: every allocator in the repository — the
-//! paper's three variants and all baselines — driven over the same
-//! workloads through the same harness, with accounting sanity checks.
+//! paper-variant registry ([`VARIANTS`]) and all baselines — driven over
+//! the same workloads through the same harness, with accounting sanity
+//! checks and a pairwise-equivalence proptest matrix over the registry, so
+//! any future fifth variant is covered by construction.
 
+use proptest::prelude::*;
 use storage_realloc::prelude::*;
 use storage_realloc::workloads::adversarial::lemma_3_7;
 use storage_realloc::workloads::churn::{churn, ChurnConfig};
 use storage_realloc::workloads::dist::SizeDist;
 
 fn full_roster() -> Vec<Box<dyn Reallocator>> {
-    let mut roster: Vec<Box<dyn Reallocator>> = vec![
-        Box::new(CostObliviousReallocator::new(0.5)),
-        Box::new(CheckpointedReallocator::new(0.5)),
-        Box::new(DeamortizedReallocator::new(0.5)),
-    ];
+    let mut roster: Vec<Box<dyn Reallocator>> = VARIANTS
+        .iter()
+        .map(|name| -> Box<dyn Reallocator> {
+            build_variant(name, 0.5).expect("registry names build")
+        })
+        .collect();
     roster.extend(storage_realloc::baselines::baseline_roster());
     roster
 }
@@ -102,6 +106,96 @@ fn lemma_3_7_dichotomy() {
             pays_moves || pays_space,
             "{name}: dodged the lower bound (moves {worst_linear}, space {worst_space})"
         );
+    }
+}
+
+/// A compact random request encoding (positive = insert of that size,
+/// zero = delete the oldest live object), mirroring `prop_invariants.rs`.
+fn op_sequence() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => 1u64..=600,
+            1 => Just(0u64),
+        ],
+        1..200,
+    )
+}
+
+fn materialize(ops: &[u64]) -> Vec<Request> {
+    let mut requests = Vec::new();
+    let mut live = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for &op in ops {
+        if op == 0 {
+            if let Some(id) = live.pop_front() {
+                requests.push(Request::Delete { id });
+            }
+        } else {
+            let id = ObjectId(next);
+            next += 1;
+            live.push_back(id);
+            requests.push(Request::Insert { id, size: op });
+        }
+    }
+    requests
+}
+
+/// Observable state of a variant after serving a request stream and
+/// quiescing: the live map plus the workload-determined cost totals.
+fn observe(name: &str, requests: &[Request]) -> (Vec<(ObjectId, u64)>, u64, f64) {
+    let mut r = build_variant(name, 0.4).expect("registry names build");
+    let mut alloc_cost = 0.0;
+    let mut live: Vec<ObjectId> = Vec::new();
+    for req in requests {
+        match *req {
+            Request::Insert { id, size } => {
+                r.insert(id, size).unwrap();
+                alloc_cost += size as f64;
+                live.push(id);
+            }
+            Request::Delete { id } => {
+                r.delete(id).unwrap();
+                live.retain(|&x| x != id);
+            }
+        }
+    }
+    // Deamortized semantics keep pending deletes active until drained.
+    r.quiesce();
+    let mut map: Vec<(ObjectId, u64)> = live
+        .iter()
+        .map(|&id| (id, r.extent_of(id).expect("live object indexed").len))
+        .collect();
+    map.sort();
+    (map, r.live_volume(), alloc_cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Four-way pairwise equivalence over the [`VARIANTS`] registry: every
+    /// pair of paper variants serves the same stream to the same observable
+    /// state (live ids, sizes, volume) at the same allocation cost. Written
+    /// over the registry, not hand-picked pairs, so a fifth variant joins
+    /// the matrix by being added to [`VARIANTS`] alone.
+    #[test]
+    fn pairwise_equivalence_matrix(ops in op_sequence()) {
+        let requests = materialize(&ops);
+        let observed: Vec<_> = VARIANTS
+            .iter()
+            .map(|name| (name, observe(name, &requests)))
+            .collect();
+        for i in 0..observed.len() {
+            for j in i + 1..observed.len() {
+                let (a, (map_a, vol_a, cost_a)) = &observed[i];
+                let (b, (map_b, vol_b, cost_b)) = &observed[j];
+                prop_assert_eq!(map_a, map_b, "{} vs {}: live maps differ", a, b);
+                prop_assert_eq!(vol_a, vol_b, "{} vs {}: volumes differ", a, b);
+                prop_assert!(
+                    (cost_a - cost_b).abs() < 1e-6,
+                    "{} vs {}: alloc cost {} != {}", a, b, cost_a, cost_b
+                );
+            }
+        }
     }
 }
 

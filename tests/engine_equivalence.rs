@@ -3,27 +3,20 @@
 //! Because requests for one object always hash to the same shard, a
 //! sharded run is — by construction — the same computation as replaying
 //! each shard's sub-sequence on a standalone reallocator. These tests
-//! check that the construction actually holds for all three paper
-//! variants: same extents per shard, same space telemetry, the same
-//! *physical bytes* (each shard runs a byte-carrying substrate, compared
-//! against an unsharded `DataStore` replay of its sub-sequence), no object
-//! lost or duplicated after `quiesce`, and bitwise-identical `EngineStats`
-//! across repeat runs.
+//! check that the construction actually holds for every paper variant in
+//! the [`VARIANTS`] registry: same extents per shard, same space telemetry,
+//! the same *physical bytes* (each shard runs a byte-carrying substrate,
+//! compared against an unsharded `DataStore` replay of its sub-sequence),
+//! no object lost or duplicated after `quiesce`, and bitwise-identical
+//! `EngineStats` across repeat runs.
 
 use proptest::prelude::*;
 use storage_realloc::engine::shard_of;
 use storage_realloc::prelude::*;
 use storage_realloc::workloads::shard::split_with;
 
-const VARIANTS: [&str; 3] = ["cost-oblivious", "checkpointed", "deamortized"];
-
 fn build(variant: &str, eps: f64) -> Box<dyn Reallocator + Send> {
-    match variant {
-        "cost-oblivious" => Box::new(CostObliviousReallocator::new(eps)),
-        "checkpointed" => Box::new(CheckpointedReallocator::new(eps)),
-        "deamortized" => Box::new(DeamortizedReallocator::new(eps)),
-        other => panic!("unknown variant {other}"),
-    }
+    build_variant(variant, eps).unwrap_or_else(|| panic!("unknown variant {variant}"))
 }
 
 /// Compact request-sequence encoding shared with `prop_invariants`:
@@ -244,7 +237,7 @@ fn engine_stats_are_deterministic() {
 #[test]
 fn mixed_variant_fleet_serves_correctly() {
     let workload = realloc_bench::standard_churn(10_000, 2_000, 11);
-    let mut engine = Engine::new(EngineConfig::with_shards(3), |shard| {
+    let mut engine = Engine::new(EngineConfig::with_shards(VARIANTS.len()), |shard| {
         build(VARIANTS[shard % VARIANTS.len()], 0.25)
     });
     engine.drive(&workload).expect("drive");
@@ -277,7 +270,8 @@ fn mixed_variant_fleet_serves_correctly() {
         vec![
             "cost-oblivious",
             "cost-oblivious-ckpt",
-            "cost-oblivious-deamortized"
+            "cost-oblivious-deamortized",
+            "nearly-quadratic"
         ]
     );
     for row in &stats.per_shard {

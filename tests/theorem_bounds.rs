@@ -1,5 +1,7 @@
 //! End-to-end verification of the paper's headline bounds on realistic
-//! workloads, across all three reallocator variants and the ε range.
+//! workloads, across every reallocator variant in the [`VARIANTS`]
+//! registry and the ε range — the PODS'14 theorems plus the 2024
+//! nearly-quadratic movement-cost bound.
 
 use storage_realloc::prelude::*;
 use storage_realloc::workloads::churn::{churn, ChurnConfig};
@@ -170,7 +172,7 @@ fn deamortized_survives_escalating_class_chains() {
 }
 
 /// Every object remains addressable with its exact size through heavy
-/// churn, for all three variants.
+/// churn, for every registry variant.
 #[test]
 fn no_object_is_ever_lost() {
     let w = churn_workload(19);
@@ -185,12 +187,10 @@ fn no_object_is_ever_lost() {
             }
         }
     }
-    let algs: Vec<Box<dyn Reallocator>> = vec![
-        Box::new(CostObliviousReallocator::new(0.5)),
-        Box::new(CheckpointedReallocator::new(0.5)),
-        Box::new(DeamortizedReallocator::new(0.5)),
-    ];
-    for mut r in algs {
+    for mut r in VARIANTS
+        .iter()
+        .map(|name| build_variant(name, 0.5).expect("registry names build"))
+    {
         run_workload(r.as_mut(), &w, RunConfig::plain()).unwrap();
         // Pending deletes count as active until drained (paper semantics);
         // quiesce so liveness matches the reference model exactly.
@@ -203,5 +203,101 @@ fn no_object_is_ever_lost() {
         }
         assert_eq!(r.live_count(), live.len());
         assert_eq!(r.live_volume(), live.values().sum::<u64>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The 2024 nearly-quadratic bounds (Farach-Colton & Sheffield).
+// ---------------------------------------------------------------------------
+
+/// Drives `r` through a cancelling-churn regime — a standing same-class
+/// population, then `rounds` of delete-oldest + reinsert-same-size — and
+/// returns `(moved, churned)`: total moved volume across the churn phase
+/// (population warm-up excluded) and the volume the churn itself touched.
+fn cancelling_churn_moved(
+    r: &mut dyn Reallocator,
+    objects: u64,
+    rounds: u64,
+    size: u64,
+) -> (u64, u64) {
+    let mut live = std::collections::VecDeque::new();
+    let mut next = 0u64;
+    for _ in 0..objects {
+        let id = ObjectId(next);
+        next += 1;
+        r.insert(id, size).unwrap();
+        live.push_back(id);
+    }
+    r.quiesce();
+    let mut moved = 0u64;
+    let mut churned = 0u64;
+    for _ in 0..rounds {
+        let victim = live.pop_front().unwrap();
+        moved += r.delete(victim).unwrap().moved_volume();
+        let id = ObjectId(next);
+        next += 1;
+        moved += r.insert(id, size).unwrap().moved_volume();
+        live.push_back(id);
+        churned += 2 * size;
+    }
+    moved += r.quiesce().moved_volume();
+    (moved, churned)
+}
+
+/// The 2024 movement-cost bound on its target regime: under cancelling
+/// churn the nearly-quadratic variant's amortized moved volume per churned
+/// byte stays within C·√(1/ε′)·ln(1/ε′+e) — the Õ(ε^{-1/2}) shape — while
+/// still being measured over the same driver the 2014 variants run.
+#[test]
+fn nearly_quadratic_movement_bound_on_cancelling_churn() {
+    for eps in [0.5, 0.25, 0.125, 0.0625] {
+        let mut r = NearlyQuadraticReallocator::new(eps);
+        let (moved, churned) = cancelling_churn_moved(&mut r, 400, 2_000, 64);
+        let ratio = moved as f64 / churned as f64;
+        let eps_p = eps / 3.0;
+        let bound = (1.0 / eps_p).sqrt() * (1.0 / eps_p + std::f64::consts::E).ln();
+        assert!(
+            ratio <= bound,
+            "ε={eps}: churn movement ratio {ratio} above the 2024 shape {bound}"
+        );
+        r.validate().unwrap();
+    }
+}
+
+/// Head-to-head on the same cancelling churn: hole recycling plus tombstone
+/// cancellation stops the flush clock, so the 2024 variant moves an order
+/// of magnitude less volume than every 2014 variant (measured: ~0–51 kB vs
+/// 3.1–6.0 MB at ε=0.25).
+#[test]
+fn nearly_quadratic_beats_2014_variants_on_cancelling_churn() {
+    let eps = 0.25;
+    let mut nq = NearlyQuadraticReallocator::new(eps);
+    let (moved_nq, _) = cancelling_churn_moved(&mut nq, 400, 2_000, 64);
+    for name in ["cost-oblivious", "checkpointed", "deamortized"] {
+        let mut r = build_variant(name, eps).unwrap();
+        let (moved_2014, _) = cancelling_churn_moved(r.as_mut(), 400, 2_000, 64);
+        assert!(
+            (moved_nq as f64) <= 0.1 * moved_2014 as f64,
+            "vs {name}: {moved_nq} not below 0.1 × {moved_2014}"
+        );
+    }
+}
+
+/// Outside its target regime the 2024 variant inherits the PODS'14
+/// guarantees wholesale: the (1+ε) footprint bound and the Theorem 2.1
+/// cost ratio, on the same strict substrate run the checkpointed variant
+/// is held to.
+#[test]
+fn nearly_quadratic_keeps_the_2014_bounds() {
+    let w = churn_workload(20);
+    let eps = 0.25;
+    let mut r = NearlyQuadraticReallocator::new(eps);
+    let result = run_workload(&mut r, &w, RunConfig::strict()).unwrap();
+    assert!(result.ledger.max_settled_space_ratio() <= 1.0 + eps + 1e-9);
+    let eps_p = eps / 3.0;
+    let theory = (1.0 / eps_p) * (1.0 / eps_p).ln();
+    for f in storage_realloc::cost::standard_suite() {
+        let b = result.ledger.cost_ratio(&|x| f.cost(x));
+        assert!(b <= 6.0 * theory, "f={}: {b} vs theory {theory}", f.name());
     }
 }
