@@ -10,12 +10,12 @@ use realloc_common::{BoxedReallocator, Extent, HashRouter, ObjectId, ReallocErro
 use realloc_telemetry::{EventJournal, Histogram};
 use workload_gen::{Request, Workload};
 
-use crate::metrics::{DeviceProfile, MetricsSnapshot, ShardTelemetry};
+use crate::metrics::{DeviceProfile, MetricsSnapshot, StealStats};
 use crate::rebalance::{
     plan_rebalance, Migration, OnlinePlan, RebalanceMode, RebalanceOptions, RebalancePolicy,
     RebalanceReport, ResizeReport,
 };
-use crate::shard::{Command, ShardError, ShardFinal, ShardJournal, ShardReply, ShardWorker};
+use crate::shard::{Command, ShardError, ShardFinal, ShardReply, ShardWorker};
 use crate::stats::EngineStats;
 use crate::substrate::{SubstrateConfig, SubstrateReport, Transfer};
 
@@ -496,29 +496,13 @@ impl Engine {
         recoveries: u64,
     ) -> Result<(), EngineError> {
         let (tx, rx) = mpsc::sync_channel(self.config.queue_depth.max(1));
-        let substrate = self.config.substrate.map(|s| s.build(shard));
-        let journal = match &self.wal_dir {
-            Some(dir) => Some(
-                ShardJournal::open(dir, shard).map_err(|e| EngineError::Wal {
-                    detail: format!("open shard {shard} journal: {e}"),
-                })?,
-            ),
-            None => None,
-        };
-        let telemetry = self
-            .config
-            .telemetry
-            .then(|| ShardTelemetry::new(self.config.device));
-        let worker = ShardWorker::new(
+        let worker = ShardWorker::build(
+            &self.config,
             shard,
             realloc,
-            substrate,
-            self.config.record_ledger,
-            self.config.coalesce,
-            journal,
+            self.wal_dir.as_deref(),
             recoveries,
-            telemetry,
-        );
+        )?;
         let handle = std::thread::Builder::new()
             .name(format!("realloc-shard-{shard}"))
             .spawn(move || worker.run(rx))
@@ -641,7 +625,7 @@ impl Engine {
     /// How much of an `n`-request buffer a planned flush ships: nothing
     /// below half a batch (let it keep filling), at most one batch, and
     /// everything in between ships whole.
-    fn planned_take(n: usize, batch: usize) -> Option<usize> {
+    pub(crate) fn planned_take(n: usize, batch: usize) -> Option<usize> {
         if n < batch / 2 {
             None
         } else {
@@ -712,7 +696,7 @@ impl Engine {
 
     /// The error-surfacing rule every barrier shares: the first rejected
     /// request of the lowest-numbered shard that saw one wins.
-    fn surface_first_error<'a>(
+    pub(crate) fn surface_first_error<'a>(
         replies: impl Iterator<Item = (usize, &'a Option<ShardError>)>,
     ) -> Result<(), EngineError> {
         for (shard, first_error) in replies {
@@ -732,7 +716,7 @@ impl Engine {
     /// whichever exists keeps surfacing until shutdown.
     ///
     /// [`surface_first_error`]: Engine::surface_first_error
-    fn surface_substrate_error<'a>(
+    pub(crate) fn surface_substrate_error<'a>(
         replies: impl Iterator<Item = (usize, &'a Option<String>)>,
     ) -> Result<(), EngineError> {
         for (shard, first) in replies {
@@ -746,7 +730,7 @@ impl Engine {
         Ok(())
     }
 
-    fn aggregate(replies: Vec<ShardReply>) -> Result<EngineStats, EngineError> {
+    pub(crate) fn aggregate(replies: Vec<ShardReply>) -> Result<EngineStats, EngineError> {
         Self::surface_first_error(replies.iter().map(|r| (r.stats.shard, &r.first_error)))?;
         Self::surface_substrate_error(
             replies
@@ -788,7 +772,7 @@ impl Engine {
     /// with checkpoint barriers so each shard's checkpoint records which of
     /// its objects sit off the router's rendezvous fallback; recovery can
     /// then rebuild the assignment table from the shard files alone.
-    fn router_pins(&self) -> Vec<Vec<ObjectId>> {
+    pub(crate) fn router_pins(&self) -> Vec<Vec<ObjectId>> {
         let mut pins = vec![Vec::new(); self.senders.len()];
         if self.wal_dir.is_some() {
             for (id, shard) in self.router.assigned_ids() {
@@ -852,6 +836,7 @@ impl Engine {
             per_shard,
             events: self.events.snapshot(),
             events_dropped: self.events.dropped(),
+            steal: StealStats::default(),
         };
         self.last_metrics = Some(snapshot.clone());
         Ok(snapshot)

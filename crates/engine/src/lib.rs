@@ -96,6 +96,18 @@
 //! assert_eq!(stats.live_count(), 1);
 //! ```
 //!
+//! ## The async front-end
+//!
+//! [`AsyncEngine`] is the future-returning counterpart of the sync
+//! handle: `insert`/`delete`/`flush`/`quiesce` return lightweight
+//! completion futures (hand-rolled one-shot slots from
+//! `realloc-common` — no tokio anywhere), and tenants are hosted by a
+//! [`Fleet`] — a small worker pool multiplexing thousands of
+//! lightweight engines, optionally stealing whole queued batches from
+//! backlogged peers (see the [`fleet`] module docs for the steal
+//! protocol and its order guarantees). The sync facade stays the
+//! default and is untouched by any of it.
+//!
 //! [`Engine::drive`] replays a whole [`Workload`](workload_gen::Workload)
 //! by splitting it into per-shard streams (preserving per-object request
 //! order) and feeding all shards round-robin so every queue stays busy.
@@ -106,7 +118,9 @@
 //! pipelining. Worker threads never panic on bad requests; they count the
 //! error and keep serving.
 
+pub mod async_facade;
 pub mod engine;
+pub mod fleet;
 pub mod metrics;
 pub mod plan;
 pub mod rebalance;
@@ -115,8 +129,10 @@ pub mod shard;
 pub mod stats;
 pub mod substrate;
 
+pub use async_facade::{Ack, AsyncEngine, QuiesceFuture};
 pub use engine::{Engine, EngineConfig, EngineError};
-pub use metrics::{DeviceProfile, MetricsSnapshot, ShardMetrics};
+pub use fleet::{Fleet, FleetConfig};
+pub use metrics::{DeviceProfile, MetricsSnapshot, ShardMetrics, StealStats};
 pub use realloc_common::router::{self, shard_of, HashRouter, Router, TableRouter};
 pub use realloc_telemetry::{
     EventJournal, Histogram, HistogramSnapshot, Json, SpanPhase, TraceEvent,

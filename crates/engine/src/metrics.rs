@@ -276,13 +276,59 @@ impl ShardMetrics {
     }
 }
 
+/// Fleet work-stealing observations: how many queued batches idle
+/// workers executed on behalf of a backlogged home worker, how many
+/// steal attempts lost the race (both conflict edges — core lock held,
+/// or an earlier batch of the same core still in flight), and how long
+/// stolen batches had waited in their queue before a thief picked them
+/// up.
+///
+/// All three are scheduling-dependent (a steal only happens when a
+/// worker *happens* to be idle), so like the wall-clock histograms they
+/// are excluded from [`MetricsSnapshot`]'s deterministic `==`. A sync
+/// [`Engine`](crate::Engine) — which has no thieves — always reports
+/// zeros here.
+#[derive(Debug, Clone, Default)]
+pub struct StealStats {
+    /// Queued batches executed by a non-home worker.
+    pub batches_stolen: u64,
+    /// Steal attempts that hit either conflict edge. With the
+    /// peek-before-take protocol the batch never leaves its owner's
+    /// queue on a conflict — the thief walks away and the home worker
+    /// runs it in order.
+    pub steal_conflicts: u64,
+    /// Nanoseconds a stolen batch spent queued before the thief applied
+    /// it (observation; one entry per successful steal).
+    pub steal_wait_ns: HistogramSnapshot,
+}
+
+impl StealStats {
+    /// This scrape minus `prev` (counters and the histogram subtract).
+    pub fn delta_since(&self, prev: &StealStats) -> StealStats {
+        StealStats {
+            batches_stolen: self.batches_stolen.saturating_sub(prev.batches_stolen),
+            steal_conflicts: self.steal_conflicts.saturating_sub(prev.steal_conflicts),
+            steal_wait_ns: self.steal_wait_ns.delta_since(&prev.steal_wait_ns),
+        }
+    }
+
+    /// Folds another tenant's observations into this one — what a fleet
+    /// roll-up does to check that per-tenant scrapes sum to the totals.
+    pub fn absorb(&mut self, other: &StealStats) {
+        self.batches_stolen += other.batches_stolen;
+        self.steal_conflicts += other.steal_conflicts;
+        self.steal_wait_ns.merge(&other.steal_wait_ns);
+    }
+}
+
 /// Everything [`Engine::metrics`](crate::Engine::metrics) scrapes:
 /// aggregate stats, per-shard telemetry, the engine-side intake-stall
 /// observations, and the recent event journal.
 ///
 /// Equality covers the deterministic projection only (stats, counters,
-/// sim time, deterministic histograms); wall-clock observations and the
-/// event journal (whose timestamps are wall-clock) are excluded.
+/// sim time, deterministic histograms); wall-clock observations, the
+/// steal counters, and the event journal (whose timestamps are
+/// wall-clock) are excluded.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     /// 1-based scrape ordinal (how many times `metrics()` has run).
@@ -299,6 +345,11 @@ pub struct MetricsSnapshot {
     pub events: Vec<TraceEvent>,
     /// Events evicted from the bounded journal before this scrape.
     pub events_dropped: u64,
+    /// Work-stealing observations (always zero for a sync
+    /// [`Engine`](crate::Engine); populated by the async facade's
+    /// per-tenant scrape). Excluded from `==` — steals are
+    /// scheduling-dependent.
+    pub steal: StealStats,
 }
 
 impl PartialEq for MetricsSnapshot {
@@ -361,24 +412,28 @@ impl MetricsSnapshot {
                 .collect(),
             events: self.events.clone(),
             events_dropped: self.events_dropped,
+            steal: self.steal.delta_since(&prev.steal),
         }
     }
 
     /// The machine export behind `realloc-sim engine --metrics-json`.
     ///
-    /// Schema (`"schema": 2`): `counters` are fleet-wide sums,
+    /// Schema (`"schema": 3`): `counters` are fleet-wide sums,
     /// `gauges` current values, `sim_time_us` the device-priced totals,
     /// `per_shard` one object per shard with its histograms (each with
     /// `count`/`sum`/`min`/`max`, `p50`–`p999`, and raw log₂ `buckets`
-    /// trimmed of trailing zeros), `events` the journal tail.
+    /// trimmed of trailing zeros), `steal` the work-stealing block
+    /// (`batches_stolen` / `steal_conflicts` counters and the
+    /// `steal_wait_ns` histogram), `events` the journal tail.
     ///
-    /// Schema history: 2 added the batch-pipeline surface — the
+    /// Schema history: 3 added the work-stealing surface (the `steal`
+    /// block); 2 added the batch-pipeline surface — the
     /// `batch_requests_coalesced` / `batch_requests_cancelled` counters and
     /// the per-shard `batch_raw_requests` / `batch_planned_requests`
     /// histograms; 1 was the original export.
     pub fn to_json(&self) -> Json {
         let mut root = Json::obj();
-        root.set("schema", 2u64);
+        root.set("schema", 3u64);
         root.set(
             "device",
             match self.device {
@@ -436,6 +491,12 @@ impl MetricsSnapshot {
         );
         sim.set("total", self.sim_time_us());
         root.set("sim_time_us", sim);
+
+        let mut steal = Json::obj();
+        steal.set("batches_stolen", self.steal.batches_stolen);
+        steal.set("steal_conflicts", self.steal.steal_conflicts);
+        steal.set("steal_wait_ns", histogram_json(&self.steal.steal_wait_ns));
+        root.set("steal", steal);
 
         let shards = self
             .per_shard

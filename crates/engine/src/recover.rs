@@ -11,11 +11,13 @@
 //! not agree on how far a cross-shard migration got:
 //!
 //! 1. **Fold** each shard's checkpoint + replayable log suffix into its
-//!    last durable live set. Frames whose epoch predates the checkpoint
-//!    are skipped (they survive only when a crash hit between the
-//!    checkpoint rename and the log truncation — the checkpoint already
-//!    subsumes them); a torn tail was already discarded by the frame
-//!    reader.
+//!    last durable live set — one thread per shard, since the logs are
+//!    independent; the per-shard folds are merged in shard index order,
+//!    keeping the result byte-identical to a sequential fold. Frames
+//!    whose epoch predates the checkpoint are skipped (they survive
+//!    only when a crash hit between the checkpoint rename and the log
+//!    truncation — the checkpoint already subsumes them); a torn tail
+//!    was already discarded by the frame reader.
 //! 2. **Reconcile** migrations across shards by transfer sequence number.
 //!    An id live on two shards (source log truncated below its
 //!    `MigrateOut`, target log kept its `MigrateIn`) keeps the copy with
@@ -99,6 +101,115 @@ fn wal_err(detail: String) -> EngineError {
     EngineError::Wal { detail }
 }
 
+/// One shard's Phase-1 fold: its durable live set plus everything the
+/// cross-shard reconcile needs. Produced independently per shard — logs
+/// never reference each other — so the folds run on parallel threads
+/// and are merged in shard index order, which keeps recovery
+/// byte-deterministic (same owner map, same report, same ordering of
+/// duplicates and resurrections as the old sequential fold).
+struct ShardFold {
+    live: BTreeMap<ObjectId, Tracked>,
+    /// Every journaled `MigrateOut` as (xfer, id, size, source shard).
+    outs: Vec<(u64, ObjectId, u64, usize)>,
+    /// Transfer sequence numbers whose arrival survived in this log.
+    arrived: Vec<u64>,
+    max_xfer: u64,
+    checkpoint_objects: u64,
+    replayed_groups: u64,
+    replayed_records: u64,
+}
+
+/// Folds shard `shard`'s checkpoint + replayable log suffix into its
+/// last durable live set (Phase 1 of [`Engine::recover`], for one
+/// shard). Frames whose epoch predates the checkpoint are skipped; a
+/// torn tail was already discarded by the frame reader.
+fn fold_shard(dir: &Path, shard: usize) -> Result<ShardFold, EngineError> {
+    let mut fold = ShardFold {
+        live: BTreeMap::new(),
+        outs: Vec::new(),
+        arrived: Vec::new(),
+        max_xfer: 0,
+        checkpoint_objects: 0,
+        replayed_groups: 0,
+        replayed_records: 0,
+    };
+    let ckpt = read_checkpoint(&checkpoint_path(dir, shard))
+        .map_err(|e| wal_err(format!("shard {shard} checkpoint: {e}")))?;
+    let epoch = ckpt.as_ref().map_or(0, |c| c.epoch);
+    for entry in ckpt.into_iter().flat_map(|c| c.entries) {
+        fold.checkpoint_objects += 1;
+        fold.live.insert(
+            entry.id,
+            Tracked {
+                size: entry.len,
+                digest: entry.digest,
+                claim: 0,
+            },
+        );
+    }
+    let groups =
+        read_wal(&wal_path(dir, shard)).map_err(|e| wal_err(format!("shard {shard} wal: {e}")))?;
+    for group in groups {
+        if group.epoch < epoch {
+            // Pre-checkpoint frames survive only a crash between the
+            // checkpoint rename and the truncation; the checkpoint
+            // subsumes them.
+            continue;
+        }
+        fold.replayed_groups += 1;
+        for record in group.records {
+            fold.replayed_records += 1;
+            match record {
+                WalRecord::Allocate {
+                    id, len, digest, ..
+                } => {
+                    fold.live.insert(
+                        id,
+                        Tracked {
+                            size: len,
+                            digest,
+                            claim: 0,
+                        },
+                    );
+                }
+                // Moves relocate within the shard; the logical live set
+                // (and the regenerable content) is unchanged.
+                WalRecord::Move { .. } => {}
+                WalRecord::Free { id, .. } => {
+                    fold.live.remove(&id);
+                }
+                WalRecord::MigrateOut { id, size, xfer } => {
+                    fold.live.remove(&id);
+                    fold.outs.push((xfer, id, size, shard));
+                    fold.max_xfer = fold.max_xfer.max(xfer);
+                }
+                WalRecord::MigrateIn {
+                    id,
+                    len,
+                    digest,
+                    xfer,
+                    ..
+                } => {
+                    fold.live.insert(
+                        id,
+                        Tracked {
+                            size: len,
+                            digest,
+                            claim: xfer,
+                        },
+                    );
+                    fold.arrived.push(xfer);
+                    fold.max_xfer = fold.max_xfer.max(xfer);
+                }
+                WalRecord::RouteFlip { xfer, .. } => {
+                    fold.max_xfer = fold.max_xfer.max(xfer);
+                }
+            }
+        }
+    }
+    Ok(fold)
+}
+
 impl Engine {
     /// Rebuilds a crashed (or cleanly stopped) fleet from the write-ahead
     /// logs and checkpoints under `wal_dir`, returning the recovered
@@ -136,92 +247,41 @@ impl Engine {
         // the first metrics scrape shows how recovery spent its time.
         let mut spans = EventJournal::new(512);
 
-        // Phase 1: fold each shard's checkpoint + log suffix.
+        // Phase 1: fold each shard's checkpoint + log suffix — on one
+        // thread per shard, since the logs are independent by
+        // construction (each shard journals only its own ops; even a
+        // migration is two records in two logs). The folds are merged
+        // in shard index order, so the owner map, the report, and the
+        // duplicate/resurrection ordering are byte-identical to the old
+        // sequential fold — `crash_matrix` pins this.
         spans.begin(None, "recover.fold", config.shards as u64);
+        let folds: Vec<Result<ShardFold, EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.shards)
+                .map(|shard| {
+                    let dir = &dir;
+                    scope.spawn(move || fold_shard(dir, shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("suffix-fold thread panicked"))
+                .collect()
+        });
         let mut live: Vec<BTreeMap<ObjectId, Tracked>> = Vec::with_capacity(config.shards);
         // Every journaled MigrateOut as (xfer, id, size, source shard).
         let mut outs: Vec<(u64, ObjectId, u64, usize)> = Vec::new();
         // Transfer sequence numbers whose arrival survived in some log.
         let mut arrived: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut max_xfer = 0u64;
-        for shard in 0..config.shards {
-            let mut map = BTreeMap::new();
-            let ckpt = read_checkpoint(&checkpoint_path(&dir, shard))
-                .map_err(|e| wal_err(format!("shard {shard} checkpoint: {e}")))?;
-            let epoch = ckpt.as_ref().map_or(0, |c| c.epoch);
-            for entry in ckpt.into_iter().flat_map(|c| c.entries) {
-                report.checkpoint_objects += 1;
-                map.insert(
-                    entry.id,
-                    Tracked {
-                        size: entry.len,
-                        digest: entry.digest,
-                        claim: 0,
-                    },
-                );
-            }
-            let groups = read_wal(&wal_path(&dir, shard))
-                .map_err(|e| wal_err(format!("shard {shard} wal: {e}")))?;
-            for group in groups {
-                if group.epoch < epoch {
-                    // Pre-checkpoint frames survive only a crash between
-                    // the checkpoint rename and the truncation; the
-                    // checkpoint subsumes them.
-                    continue;
-                }
-                report.replayed_groups += 1;
-                for record in group.records {
-                    report.replayed_records += 1;
-                    match record {
-                        WalRecord::Allocate {
-                            id, len, digest, ..
-                        } => {
-                            map.insert(
-                                id,
-                                Tracked {
-                                    size: len,
-                                    digest,
-                                    claim: 0,
-                                },
-                            );
-                        }
-                        // Moves relocate within the shard; the logical
-                        // live set (and the regenerable content) is
-                        // unchanged.
-                        WalRecord::Move { .. } => {}
-                        WalRecord::Free { id, .. } => {
-                            map.remove(&id);
-                        }
-                        WalRecord::MigrateOut { id, size, xfer } => {
-                            map.remove(&id);
-                            outs.push((xfer, id, size, shard));
-                            max_xfer = max_xfer.max(xfer);
-                        }
-                        WalRecord::MigrateIn {
-                            id,
-                            len,
-                            digest,
-                            xfer,
-                            ..
-                        } => {
-                            map.insert(
-                                id,
-                                Tracked {
-                                    size: len,
-                                    digest,
-                                    claim: xfer,
-                                },
-                            );
-                            arrived.insert(xfer);
-                            max_xfer = max_xfer.max(xfer);
-                        }
-                        WalRecord::RouteFlip { xfer, .. } => {
-                            max_xfer = max_xfer.max(xfer);
-                        }
-                    }
-                }
-            }
-            live.push(map);
+        for fold in folds {
+            let fold = fold?;
+            report.checkpoint_objects += fold.checkpoint_objects;
+            report.replayed_groups += fold.replayed_groups;
+            report.replayed_records += fold.replayed_records;
+            outs.extend(fold.outs);
+            arrived.extend(fold.arrived);
+            max_xfer = max_xfer.max(fold.max_xfer);
+            live.push(fold.live);
         }
         spans.end(None, "recover.fold", report.replayed_records);
 

@@ -283,10 +283,59 @@ impl ShardWorker {
         }
     }
 
+    /// Builds a worker from the engine's configuration — the wiring point
+    /// shared by the dedicated-thread engine ([`crate::Engine`]) and the
+    /// multi-tenant fleet ([`crate::Fleet`]), so both front-ends get
+    /// identical substrate, journal, and telemetry setup.
+    pub(crate) fn build(
+        config: &crate::EngineConfig,
+        shard: usize,
+        realloc: Box<dyn Reallocator + Send>,
+        wal_dir: Option<&Path>,
+        recoveries: u64,
+    ) -> Result<ShardWorker, crate::EngineError> {
+        let substrate = config.substrate.map(|s| s.build(shard));
+        let journal = match wal_dir {
+            Some(dir) => {
+                Some(
+                    ShardJournal::open(dir, shard).map_err(|e| crate::EngineError::Wal {
+                        detail: format!("open shard {shard} journal: {e}"),
+                    })?,
+                )
+            }
+            None => None,
+        };
+        let telemetry = config.telemetry.then(|| ShardTelemetry::new(config.device));
+        Ok(ShardWorker::new(
+            shard,
+            realloc,
+            substrate,
+            config.record_ledger,
+            config.coalesce,
+            journal,
+            recoveries,
+            telemetry,
+        ))
+    }
+
     /// The worker loop. Returns when told to [`Command::Finish`] or when
     /// every engine-side sender is gone.
     pub(crate) fn run(mut self, rx: Receiver<Command>) {
         while let Ok(cmd) = rx.recv() {
+            if self.handle(cmd) {
+                return;
+            }
+        }
+    }
+
+    /// Applies one command against this worker's state — the single entry
+    /// point both the dedicated shard thread ([`run`](Self::run)) and a
+    /// fleet worker (possibly a *thief* applying a stolen batch) use, so
+    /// stealing can never change what a command does, only where it runs.
+    /// Returns `true` once [`Command::Finish`] has been served; the worker
+    /// must not be handed further commands after that.
+    pub(crate) fn handle(&mut self, cmd: Command) -> bool {
+        {
             match cmd {
                 Command::Batch(reqs) => {
                     self.batches += 1;
@@ -409,14 +458,15 @@ impl ShardWorker {
                     self.wal_checkpoint(&pins);
                     let _ = reply.send(ShardFinal {
                         stats: self.snapshot(),
-                        ledger: self.ledger,
+                        ledger: std::mem::take(&mut self.ledger),
                         first_error: self.first_error,
-                        first_substrate_error: self.first_substrate_error,
+                        first_substrate_error: self.first_substrate_error.clone(),
                     });
-                    return;
+                    return true;
                 }
             }
         }
+        false
     }
 
     /// Runs the full substrate scan if the cadence includes barriers.

@@ -72,7 +72,7 @@ fn self_scrape() -> String {
 fn validate(doc: &Json) {
     assert_eq!(
         doc.get("schema").and_then(Json::as_u64),
-        Some(2),
+        Some(3),
         "unknown schema version"
     );
     for key in [
@@ -83,6 +83,7 @@ fn validate(doc: &Json) {
         "gauges",
         "sim_time_us",
         "per_shard",
+        "steal",
         "events",
     ] {
         assert!(doc.get(key).is_some(), "missing top-level key {key:?}");
@@ -161,6 +162,22 @@ fn validate(doc: &Json) {
             check_histogram(key, h);
         }
     }
+
+    // Schema 3's work-stealing block: two counters plus the wait
+    // histogram (all zero on a sync engine, but always present).
+    let steal = doc.get("steal").unwrap();
+    for key in ["batches_stolen", "steal_conflicts"] {
+        assert!(
+            steal.get(key).and_then(Json::as_u64).is_some(),
+            "steal.{key} missing or not an integer"
+        );
+    }
+    check_histogram(
+        "steal_wait_ns",
+        steal
+            .get("steal_wait_ns")
+            .expect("steal.steal_wait_ns missing"),
+    );
 
     for event in doc.get("events").and_then(Json::as_arr).unwrap() {
         for key in ["seq", "at_us", "label", "phase", "payload"] {

@@ -94,6 +94,17 @@
 //!                          batch   — every served channel batch: one scan per
 //!                                    shard per ~256 requests — orders of
 //!                                    magnitude more scans, for debugging only
+//!   --async              host each tenant as its own lightweight engine on a
+//!                        shared worker pool (the async facade) instead of one
+//!                        sharded sync engine; --shards sizes the pool, and
+//!                        requests route to tenant id mod --tenants. Serving
+//!                        options that assume the single sync fleet (routers,
+//!                        rebalancing, resize, WAL, metrics output, device
+//!                        pricing) do not combine with it
+//!   --tenants <n>        with --async: tenants to register (default 8)
+//!   --steal              with --async: let idle pool workers steal queued
+//!                        batches from a stuck home worker; the run reports
+//!                        batches stolen, conflicts, and steal-wait quantiles
 //!   --eps / --trace / --churn / --seed   as above
 //!
 //! Every rebalance line printed by the engine run reports whether it ran in
@@ -153,6 +164,9 @@ struct Args {
     metrics: bool,
     metrics_json: bool,
     device: Option<DeviceProfile>,
+    async_mode: bool,
+    tenants: Option<usize>,
+    steal: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -185,6 +199,9 @@ fn parse_args() -> Result<Args, String> {
         metrics: false,
         metrics_json: false,
         device: None,
+        async_mode: false,
+        tenants: None,
+        steal: false,
     };
     let engine_mode = args.algorithm == "engine";
     let mut crash = false;
@@ -303,6 +320,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.crash_after = Some(n);
             }
+            "--async" if engine_mode => args.async_mode = true,
+            "--tenants" if engine_mode => {
+                let n: usize = next("a count")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                if n == 0 {
+                    return Err("--tenants must be positive".into());
+                }
+                args.tenants = Some(n);
+            }
+            "--steal" if engine_mode => args.steal = true,
             "--metrics" if engine_mode => args.metrics = true,
             "--metrics-json" if engine_mode => args.metrics_json = true,
             "--device" if engine_mode => {
@@ -373,6 +401,35 @@ fn parse_args() -> Result<Args, String> {
             "--verify-cadence modifies --substrate (without a substrate there is nothing to verify)"
                 .into(),
         );
+    }
+    if (args.steal || args.tenants.is_some()) && !args.async_mode {
+        return Err("--steal and --tenants modify --async (the sync engine has no fleet)".into());
+    }
+    if args.async_mode {
+        // The async facade hosts many single-tenant engines on a shared
+        // pool; everything that assumes the one sync fleet stays sync-only.
+        let conflicts: [(bool, &str); 7] = [
+            (args.router != "hash", "--router"),
+            (
+                args.rebalance_every.is_some() || args.auto_rebalance,
+                "--rebalance-every/--auto-rebalance",
+            ),
+            (args.resize.is_some(), "--resize"),
+            (args.wal_dir.is_some(), "--wal-dir"),
+            (
+                args.metrics || args.metrics_json,
+                "--metrics/--metrics-json",
+            ),
+            (args.device.is_some(), "--device"),
+            (args.defrag, "--defrag"),
+        ];
+        for (set, name) in conflicts {
+            if set {
+                return Err(format!(
+                    "{name} drives the single sync fleet and does not combine with --async"
+                ));
+            }
+        }
     }
     if args.substrate == Some(Mode::Strict) && !variant_is_strict_safe(&args.variant) {
         return Err(
@@ -988,6 +1045,146 @@ fn run_engine(args: &Args, workload: &Workload) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `engine --async` path: the same workload served by a fleet of
+/// per-tenant single-shard engines on a shared worker pool. Requests
+/// route to tenant `id mod --tenants`; every ack future is dropped (the
+/// quiesce barrier at the end is the synchronization point, exactly as a
+/// fire-and-forget client would use the facade) and any request the
+/// reallocator rejected surfaces there.
+fn run_engine_async(args: &Args, workload: &Workload) -> ExitCode {
+    if make_algorithm(&args.variant, args.eps).is_none() {
+        eprintln!("error: unknown engine variant {:?}", args.variant);
+        return ExitCode::FAILURE;
+    }
+    let tenants_n = args.tenants.unwrap_or(8);
+    let substrate = args.substrate.map(|mode| SubstrateConfig {
+        mode,
+        verify: args.cadence.unwrap_or_default(),
+        ..SubstrateConfig::default()
+    });
+    let tenant_config = EngineConfig {
+        shards: 1,
+        batch: args.batch,
+        coalesce: args.coalesce,
+        substrate,
+        ..Default::default()
+    };
+    let fleet = Fleet::new(FleetConfig::with_workers(args.shards).stealing(args.steal));
+    let mut tenants: Vec<AsyncEngine> = (0..tenants_n)
+        .map(|_| {
+            fleet.register(tenant_config, Box::new(HashRouter::new(1)), |_shard| {
+                make_algorithm(&args.variant, args.eps).expect("variant validated above")
+            })
+        })
+        .collect();
+
+    println!("workload:  {} ({} requests)", workload.name, workload.len());
+    println!(
+        "fleet:     {} × {} tenants on {} pool workers (ε = {}, batch = {}{}, stealing {})",
+        args.variant,
+        tenants_n,
+        args.shards,
+        args.eps,
+        args.batch,
+        if args.coalesce { " coalesced" } else { "" },
+        if args.steal { "on" } else { "off" },
+    );
+
+    let start = std::time::Instant::now();
+    for req in &workload.requests {
+        let t = (req.id().0 % tenants_n as u64) as usize;
+        match *req {
+            Request::Insert { id, size } => drop(tenants[t].insert(id, size)),
+            Request::Delete { id } => drop(tenants[t].delete(id)),
+        }
+    }
+    let waits: Vec<_> = tenants.iter_mut().map(|t| t.quiesce()).collect();
+    let mut stats = Vec::with_capacity(tenants_n);
+    for (t, wait) in waits.into_iter().enumerate() {
+        match wait.wait() {
+            Ok(s) => stats.push(s),
+            Err(e) => {
+                eprintln!("tenant {t} failed to quiesce: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let steal = fleet.steal_totals();
+    for tenant in tenants {
+        if let Err(e) = tenant.shutdown() {
+            eprintln!("tenant shutdown failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    fleet.shutdown();
+
+    // Per-tenant rows (capped — a thousand-tenant fleet prints as a
+    // sample plus the aggregate), then the Σ row over every tenant.
+    const SHOWN: usize = 10;
+    let mut table = Table::new(
+        format!("per-tenant stats ({})", args.variant),
+        &[
+            "tenant",
+            "requests",
+            "batches",
+            "objects",
+            "volume",
+            "footprint",
+            "ratio",
+        ],
+    );
+    for (t, s) in stats.iter().enumerate().take(SHOWN) {
+        table.row(vec![
+            t.to_string(),
+            fmt_u64(s.requests()),
+            fmt_u64(s.batches()),
+            fmt_u64(s.live_count() as u64),
+            fmt_u64(s.live_volume()),
+            fmt_u64(s.footprint()),
+            fmt2(s.worst_settled_ratio()),
+        ]);
+    }
+    if stats.len() > SHOWN {
+        let mut row = vec![format!("… {} more", stats.len() - SHOWN)];
+        row.resize(7, String::new());
+        table.row(row);
+    }
+    table.row(vec![
+        "Σ".into(),
+        fmt_u64(stats.iter().map(EngineStats::requests).sum()),
+        fmt_u64(stats.iter().map(EngineStats::batches).sum()),
+        fmt_u64(stats.iter().map(|s| s.live_count() as u64).sum()),
+        fmt_u64(stats.iter().map(EngineStats::live_volume).sum()),
+        fmt_u64(stats.iter().map(EngineStats::footprint).sum()),
+        fmt2(
+            stats
+                .iter()
+                .map(EngineStats::worst_settled_ratio)
+                .fold(0.0, f64::max),
+        ),
+    ]);
+    table.print();
+
+    if args.steal {
+        println!(
+            "stealing:  {} batches stolen, {} conflicts; stolen batches waited \
+             p50 {:.1} µs / p99 {:.1} µs before a thief took them",
+            fmt_u64(steal.batches_stolen),
+            fmt_u64(steal.steal_conflicts),
+            steal.steal_wait_ns.p50() / 1e3,
+            steal.steal_wait_ns.p99() / 1e3,
+        );
+    }
+    println!(
+        "\nthroughput: {:.0} requests/sec ({} requests in {:.3}s, wall clock)",
+        workload.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        workload.len(),
+        elapsed.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -999,7 +1196,7 @@ fn main() -> ExitCode {
                  \x20                         [--rebalance-every n [--online] | --auto-rebalance [--tau f] [--policy-k n] [--hysteresis n]]\n\
                  \x20                         [--resize n] [--defrag] [--substrate [relaxed|strict]] [--verify-cadence final|quiesce|batch]\n\
                  \x20                         [--wal-dir dir [--crash-after n]] [--metrics] [--metrics-json] [--device unit|disk|ssd]\n\
-                 \x20                         [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
+                 \x20                         [--async [--tenants n] [--steal]] [--eps f] [--trace file | --churn vol ops] [--seed n]\n\
                  \x20      (--rebalance-every alone quiesces the whole fleet per rebalance; --online or\n\
                  \x20       --auto-rebalance migrate in bounded batches interleaved with serving;\n\
                  \x20       --substrate backs each shard with a byte store over its own address window —\n\
@@ -1041,7 +1238,11 @@ fn main() -> ExitCode {
     };
 
     if args.algorithm == "engine" {
-        return run_engine(&args, &workload);
+        return if args.async_mode {
+            run_engine_async(&args, &workload)
+        } else {
+            run_engine(&args, &workload)
+        };
     }
 
     let Some(mut algorithm) = make_algorithm(&args.algorithm, args.eps) else {

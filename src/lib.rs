@@ -63,10 +63,11 @@ pub mod prelude {
     };
     pub use crate::cost::{standard_suite, CostFn};
     pub use crate::engine::{
-        DefragSummary, DeviceProfile, Engine, EngineConfig, EngineError, EngineStats,
-        HistogramSnapshot, Json, MetricsSnapshot, OnlinePlan, RebalanceMode, RebalanceOptions,
-        RebalancePolicy, RebalanceReport, RecoveryReport, ResizeReport, ShardMetrics, ShardStats,
-        SubstrateConfig, SubstrateReport, TraceEvent, VerifyCadence,
+        Ack, AsyncEngine, DefragSummary, DeviceProfile, Engine, EngineConfig, EngineError,
+        EngineStats, Fleet, FleetConfig, HistogramSnapshot, Json, MetricsSnapshot, OnlinePlan,
+        QuiesceFuture, RebalanceMode, RebalanceOptions, RebalancePolicy, RebalanceReport,
+        RecoveryReport, ResizeReport, ShardMetrics, ShardStats, StealStats, SubstrateConfig,
+        SubstrateReport, TraceEvent, VerifyCadence,
     };
     pub use crate::harness::{
         build_variant, run_workload, variant_is_strict_safe, RunConfig, RunResult, VARIANTS,

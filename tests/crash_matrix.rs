@@ -26,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 use storage_realloc::prelude::*;
 use storage_realloc::sim::read_wal;
-use storage_realloc::sim::wal::wal_path;
+use storage_realloc::sim::wal::{checkpoint_path, read_checkpoint, wal_path};
 
 const SHARDS: usize = 3;
 
@@ -178,5 +178,62 @@ fn every_kill_point_recovers_to_one_owner_per_object() {
     assert!(duplicates_dropped > 0, "no cut lost a departure");
 
     let _ = std::fs::remove_dir_all(&work);
+    std::fs::remove_dir_all(&pristine).unwrap();
+}
+
+/// Pins the parallel Phase-1 fold (one thread per shard, merged in
+/// shard index order): recovering the same pristine directory is
+/// deterministic run to run — same owner map, same placements, same
+/// report down to the duplicate/resurrection lists — and the replay
+/// counters account for exactly the records the logs hold past each
+/// shard's checkpoint epoch. Nothing dropped, nothing double-counted,
+/// whatever order the fold threads finish in.
+#[test]
+fn parallel_suffix_fold_is_deterministic_and_complete() {
+    let pristine = temp_dir("fold");
+    build_scenario(&pristine);
+
+    // The completeness target, computed straight from the files the way
+    // a sequential reader would.
+    let mut want_groups = 0u64;
+    let mut want_records = 0u64;
+    let mut want_ckpt_objects = 0u64;
+    for shard in 0..SHARDS {
+        let ckpt = read_checkpoint(&checkpoint_path(&pristine, shard)).unwrap();
+        let epoch = ckpt.as_ref().map_or(0, |c| c.epoch);
+        want_ckpt_objects += ckpt.map_or(0, |c| c.entries.len() as u64);
+        for group in read_wal(&wal_path(&pristine, shard)).unwrap() {
+            if group.epoch >= epoch {
+                want_groups += 1;
+                want_records += group.records.len() as u64;
+            }
+        }
+    }
+    assert!(want_records > 0, "scenario must leave a replayable suffix");
+
+    let mut baseline = None;
+    for run in 0..3 {
+        let work = temp_dir("fold-run");
+        copy_dir(&pristine, &work);
+        let (mut engine, report) = Engine::recover(config(), &work, factory).unwrap();
+        assert_eq!(report.replayed_groups, want_groups, "run {run}");
+        assert_eq!(report.replayed_records, want_records, "run {run}");
+        assert_eq!(report.checkpoint_objects, want_ckpt_objects, "run {run}");
+
+        let fingerprint = (
+            engine.extents().unwrap(),
+            report.objects,
+            report.volume,
+            report.resurrected.clone(),
+            report.dropped_duplicates.clone(),
+            report.route_assignments,
+        );
+        match &baseline {
+            None => baseline = Some(fingerprint),
+            Some(first) => assert_eq!(first, &fingerprint, "run {run} diverged"),
+        }
+        engine.shutdown().unwrap();
+        std::fs::remove_dir_all(&work).unwrap();
+    }
     std::fs::remove_dir_all(&pristine).unwrap();
 }

@@ -1,0 +1,113 @@
+//! 1,000 tenants multiplexed over one small fleet.
+//!
+//! The scaling claim behind the async front-end (ARCHITECTURE.md §8) is
+//! that tenants are *cheap*: a registered engine is a few heap
+//! structures on a shared worker pool, not threads, so one process can
+//! host thousands. This soak drives interleaved traffic against 1,000
+//! tenants on 8 workers (stealing on) and then checks the three
+//! fleet-level contracts at once:
+//!
+//! * **isolation** — every tenant quiesces clean with exactly its own
+//!   live set and volume, even with all 1,000 quiesce futures
+//!   outstanding simultaneously;
+//! * **the paper's bound, per tenant** — each tenant's settled
+//!   footprint obeys `(1+ε)·V + shards·∆` (Lemma 2.5 plus the per-shard
+//!   slack), because sharing workers shares *time*, never structures;
+//! * **accounting** — per-tenant metrics deltas sum to exactly the
+//!   traffic driven, and the per-tenant steal observations rolled up
+//!   with [`StealStats::absorb`] reproduce [`Fleet::steal_totals`] to
+//!   the last observation.
+
+use storage_realloc::prelude::*;
+
+const TENANTS: usize = 1000;
+const ROUNDS: u64 = 30;
+const EXTRA: u64 = 5;
+const EPS: f64 = 0.25;
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        batch: 8,
+        queue_depth: 2,
+        ..EngineConfig::with_shards(1)
+    }
+    .with_substrate(SubstrateConfig::default())
+}
+
+fn realloc(_shard: usize) -> BoxedReallocator {
+    Box::new(CostObliviousReallocator::new(EPS))
+}
+
+#[test]
+fn thousand_tenants_quiesce_clean_and_reconcile() {
+    let fleet = Fleet::new(FleetConfig::with_workers(8).stealing(true));
+    let mut tenants: Vec<AsyncEngine> = (0..TENANTS)
+        .map(|_| fleet.register(config(), Box::new(HashRouter::new(1)), realloc))
+        .collect();
+
+    // Interleaved traffic: round-robin across every tenant so the
+    // worker queues always hold a mix of cores.
+    let mut volume = vec![0u64; TENANTS];
+    for round in 0..ROUNDS {
+        for (t, tenant) in tenants.iter_mut().enumerate() {
+            let size = 1 + (round * 31 + t as u64 * 7) % 64;
+            drop(tenant.insert(ObjectId(round), size));
+            volume[t] += size;
+        }
+    }
+
+    // Every quiesce future in flight at once, then awaited.
+    let waits: Vec<QuiesceFuture> = tenants.iter_mut().map(|t| t.quiesce()).collect();
+    for (t, wait) in waits.into_iter().enumerate() {
+        let stats = wait.wait().unwrap_or_else(|e| panic!("tenant {t}: {e}"));
+        assert_eq!(stats.live_count() as u64, ROUNDS, "tenant {t}");
+        assert_eq!(stats.live_volume(), volume[t], "tenant {t}");
+        let bound = (1.0 + EPS) * stats.live_volume() as f64
+            + (stats.shards() as u64 * stats.max_object_size()) as f64;
+        assert!(
+            stats.footprint() as f64 <= bound + 1e-9,
+            "tenant {t}: footprint {} exceeds (1+ε)V + N·∆ = {bound}",
+            stats.footprint()
+        );
+    }
+
+    // A second wave between two scrapes pins the delta accounting.
+    let first: Vec<MetricsSnapshot> = tenants
+        .iter_mut()
+        .map(|t| t.metrics().expect("first scrape"))
+        .collect();
+    for tenant in tenants.iter_mut() {
+        for k in 0..EXTRA {
+            drop(tenant.insert(ObjectId(ROUNDS + k), 4));
+        }
+    }
+    let waits: Vec<QuiesceFuture> = tenants.iter_mut().map(|t| t.quiesce()).collect();
+    for (t, wait) in waits.into_iter().enumerate() {
+        wait.wait().unwrap_or_else(|e| panic!("tenant {t}: {e}"));
+    }
+
+    let mut delta_requests = 0u64;
+    let mut rolled = StealStats::default();
+    for (t, tenant) in tenants.iter_mut().enumerate() {
+        let now = tenant.metrics().expect("second scrape");
+        let delta = now.delta_since(&first[t]);
+        assert_eq!(delta.stats.requests(), EXTRA, "tenant {t} delta");
+        delta_requests += delta.stats.requests();
+        rolled.absorb(&now.steal);
+    }
+    assert_eq!(delta_requests, TENANTS as u64 * EXTRA);
+
+    // The roll-up reproduces the fleet totals to the last observation:
+    // every steal is attributed to exactly one tenant, and it is
+    // recorded in both ledgers before the stolen batch acks.
+    let totals = fleet.steal_totals();
+    assert_eq!(rolled.batches_stolen, totals.batches_stolen);
+    assert_eq!(rolled.steal_conflicts, totals.steal_conflicts);
+    assert_eq!(rolled.steal_wait_ns.count, totals.steal_wait_ns.count);
+    assert_eq!(rolled.steal_wait_ns.sum, totals.steal_wait_ns.sum);
+
+    for tenant in tenants {
+        tenant.shutdown().expect("shutdown");
+    }
+    fleet.shutdown();
+}

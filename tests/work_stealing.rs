@@ -1,0 +1,216 @@
+//! The fleet's batch-stealing protocol, under adversarial conditions.
+//!
+//! Stealing moves whole *queued batches* between workers, never objects,
+//! so two properties must survive any interleaving (ARCHITECTURE.md §8):
+//!
+//! 1. **Per-object request order.** A core's batches carry client-side
+//!    sequence numbers; a worker (home or thief) may only apply the
+//!    batch the core expects next, and either conflict edge — the core
+//!    lock being held, or an earlier batch still unapplied — re-enqueues
+//!    the batch at its owner. These tests hammer a single object with
+//!    insert/delete cycles through a *paused* home worker (so every
+//!    batch is a forced steal): one application out of order would
+//!    surface as a duplicate-insert or unknown-id error at the barrier.
+//! 2. **Exactly-once durability.** A stolen batch group-commits into the
+//!    *owning shard's* WAL (the thief runs the owner's state machine, it
+//!    does not adopt the work), so a crash after forced stealing must
+//!    find every acked record in exactly one shard's log.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use storage_realloc::prelude::*;
+use storage_realloc::sim::read_wal;
+use storage_realloc::sim::wal::{wal_path, WalRecord};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("realloc-steal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One shard, one-request batches (every request ships immediately), a
+/// shallow admission queue so the test also exercises intake back-off.
+fn tiny_config() -> EngineConfig {
+    EngineConfig {
+        batch: 1,
+        queue_depth: 4,
+        ..EngineConfig::with_shards(1)
+    }
+    .with_substrate(SubstrateConfig::default())
+}
+
+fn realloc(_shard: usize) -> BoxedReallocator {
+    Box::new(CostObliviousReallocator::new(0.25))
+}
+
+/// Per-object request order survives forced stealing. The tenant's only
+/// core is pinned to a paused worker, so *every* batch is applied by one
+/// of two competing thieves — exercising both the lock-conflict edge
+/// (the other thief holds the core) and the seq-conflict edge (the
+/// other thief holds an *earlier* batch) statistically, thousands of
+/// times. The workload is maximally order-sensitive: the same id is
+/// inserted and deleted in strict alternation, so a single swapped pair
+/// of batches is a duplicate insert or an unknown-id delete, and both
+/// are counted and surfaced at the quiesce barrier.
+#[test]
+fn per_object_order_survives_forced_stealing() {
+    const CYCLES: u64 = 300;
+    let fleet = Fleet::new(FleetConfig::with_workers(3).stealing(true));
+    fleet.pause_worker(0);
+    let mut tenant = fleet.register_pinned(tiny_config(), Box::new(HashRouter::new(1)), realloc, 0);
+
+    let id = ObjectId(0);
+    for _ in 0..CYCLES {
+        drop(tenant.insert(id, 8));
+        drop(tenant.delete(id));
+    }
+    drop(tenant.insert(id, 8)); // leave one live object behind
+
+    let stats = tenant
+        .quiesce()
+        .wait()
+        .expect("an out-of-order steal would error here");
+    assert_eq!(stats.live_count(), 1);
+    assert_eq!(stats.live_volume(), 8);
+    assert_eq!(stats.errors(), 0);
+    assert_eq!(stats.requests(), 2 * CYCLES + 1);
+
+    // The home never ran: every request batch (plus the barrier commands
+    // riding the same queue) was stolen.
+    let metrics = tenant.metrics().expect("metrics");
+    assert!(
+        metrics.steal.batches_stolen > 2 * CYCLES,
+        "expected every batch stolen, saw {}",
+        metrics.steal.batches_stolen
+    );
+    assert_eq!(
+        metrics.steal.steal_wait_ns.count, metrics.steal.batches_stolen,
+        "one wait observation per successful steal"
+    );
+
+    fleet.resume_worker(0);
+    tenant.shutdown().expect("shutdown");
+    fleet.shutdown();
+}
+
+/// Pins the lock-conflict edge deterministically: a test hook holds the
+/// core's state lock while a batch sits queued at a paused home, so the
+/// only active worker's steal attempts must hit `WouldBlock`, count a
+/// conflict, and re-enqueue the batch at its owner — and the batch must
+/// still apply (exactly once) after the lock is released.
+#[test]
+fn lock_conflict_requeues_then_applies() {
+    let fleet = Fleet::new(FleetConfig::with_workers(2).stealing(true));
+    fleet.pause_worker(0);
+    fleet.pause_worker(1); // nobody may grab the batch before the hold is in place
+    let mut tenant = fleet.register_pinned(tiny_config(), Box::new(HashRouter::new(1)), realloc, 0);
+
+    let ack = tenant.insert(ObjectId(9), 16);
+    let hold = tenant.hold_core(0);
+    fleet.resume_worker(1);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while fleet.steal_totals().steal_conflicts == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "thief never hit the held core lock"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The batch must not have been applied through the held lock.
+    assert_eq!(fleet.steal_totals().batches_stolen, 0);
+
+    drop(hold);
+    ack.wait(); // resolves only when the re-enqueued batch finally applies
+
+    let totals = fleet.steal_totals();
+    assert!(totals.steal_conflicts >= 1);
+    assert_eq!(totals.batches_stolen, 1, "the batch applies exactly once");
+
+    let stats = tenant.snapshot().expect("snapshot");
+    assert_eq!(stats.live_count(), 1);
+    assert_eq!(stats.live_volume(), 16);
+
+    fleet.resume_worker(0);
+    tenant.shutdown().expect("shutdown");
+    fleet.shutdown();
+}
+
+/// A stolen-then-committed batch lands in exactly one shard's WAL: the
+/// thief executes the owning core's state machine against the owning
+/// core's log, so durability is oblivious to *where* a batch ran. One
+/// shard's home worker stays paused (all of its batches steal), the
+/// other serves natively; after a crash every acked allocation must
+/// appear in exactly one log, and recovery — the ordinary sync-engine
+/// recovery on the same directory — must rebuild the full live set.
+#[test]
+fn stolen_batches_commit_to_exactly_one_wal() {
+    const OBJECTS: u64 = 40;
+    let dir = temp_dir("xor");
+    let fleet = Fleet::new(FleetConfig::with_workers(2).stealing(true));
+    let config = EngineConfig {
+        batch: 4,
+        queue_depth: 4,
+        ..EngineConfig::with_shards(2)
+    }
+    .with_substrate(SubstrateConfig::default());
+    let mut tenant = fleet
+        .register_with_wal(config, Box::new(HashRouter::new(2)), realloc, &dir)
+        .expect("wal tenant");
+    // Cores home round-robin, so shard 0 sits on worker 0: pausing it
+    // forces every one of shard 0's batches through the thief.
+    fleet.pause_worker(0);
+
+    let mut expected = BTreeMap::new();
+    for i in 0..OBJECTS {
+        let size = 1 + (i * 7) % 48;
+        drop(tenant.insert(ObjectId(i), size));
+        expected.insert(ObjectId(i), size);
+    }
+    tenant.flush().wait(); // every batch applied ⇒ every record group-committed
+    assert!(
+        fleet.steal_totals().batches_stolen >= 1,
+        "scenario must actually steal"
+    );
+    tenant.crash();
+
+    // Exactly-once: each acked allocation is in precisely one log.
+    let mut seen = BTreeMap::new();
+    for shard in 0..2 {
+        for group in read_wal(&wal_path(&dir, shard)).expect("read wal") {
+            for record in group.records {
+                if let WalRecord::Allocate { id, .. } = record {
+                    assert!(
+                        seen.insert(id, shard).is_none(),
+                        "{id} journaled by two shards"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(
+        seen.keys().copied().collect::<Vec<_>>(),
+        expected.keys().copied().collect::<Vec<_>>(),
+        "every acked allocation must be journaled"
+    );
+
+    // The ordinary sync recovery rebuilds the stolen work.
+    let (mut recovered, report) = Engine::recover(config, &dir, realloc).expect("recover");
+    assert_eq!(report.objects, OBJECTS);
+    assert_eq!(report.volume, expected.values().sum::<u64>());
+    let live: BTreeMap<ObjectId, u64> = recovered
+        .extents()
+        .expect("extents")
+        .iter()
+        .flatten()
+        .map(|&(id, e)| (id, e.len))
+        .collect();
+    assert_eq!(live, expected, "recovered live set diverged");
+    recovered.shutdown().expect("shutdown");
+
+    fleet.resume_worker(0);
+    fleet.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
